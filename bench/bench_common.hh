@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef CXL_BENCH_BENCH_COMMON_HH
+#define CXL_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace cxl::bench
+{
+
+/** Print a section banner in the harness output. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=====================\n%s\n"
+                "================================================="
+                "=====================\n",
+                title.c_str());
+}
+
+} // namespace cxl::bench
+
+#endif // CXL_BENCH_BENCH_COMMON_HH

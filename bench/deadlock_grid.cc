@@ -1,0 +1,111 @@
+/**
+ * @file
+ * E12 — deadlock-freedom over the litmus program grid (an extension:
+ * the paper scopes deadlock and liveness out, Section 8).
+ *
+ * For every pair of two-instruction programs from {Load, Store,
+ * Evict}^2 and two initial states, exhaustively explore all
+ * interleavings and require that every maximal path ends with both
+ * programs retired and all channels drained.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "checker/explorer.hh"
+#include "invariants/invariant.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+namespace
+{
+
+std::vector<Instr>
+programFromIndex(int idx)
+{
+    const Instr ops[] = {Instr::Load, Instr::Store, Instr::Evict};
+    return {ops[idx / 3], ops[idx % 3]};
+}
+
+std::string
+programText(int idx)
+{
+    std::string txt;
+    for (Instr op : programFromIndex(idx))
+        txt += toString(op)[0];
+    return txt;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Deadlock freedom over the program grid "
+                  "(extension; paper Section 8 scopes this out)");
+
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    InvariantSet invariants = InvariantSet::full(config);
+
+    struct Init {
+        const char *name;
+        SystemState state;
+    };
+    const Init inits[] = {
+        {"all-invalid", initialAllInvalid(0)},
+        {"all-shared", initialBothShared(0)},
+    };
+
+    TextTable table({"initial state", "program pairs", "total states",
+                     "deadlocks", "violations"});
+
+    bool ok = true;
+    for (const Init &init : inits) {
+        std::uint64_t total_states = 0;
+        int deadlocks = 0, violations = 0, pairs = 0;
+        for (int p1 = 0; p1 < 9; ++p1) {
+            for (int p2 = 0; p2 < 9; ++p2) {
+                Scenario sc;
+                sc.name = programText(p1) + "_vs_" + programText(p2);
+                sc.initial = init.state;
+                sc.program[0] = programFromIndex(p1);
+                sc.program[1] = programFromIndex(p2);
+
+                Explorer ex(rules, sc, invariants);
+                ExploreOptions opt;
+                opt.checkDeadlock = true;
+                ExploreResult res = ex.run(opt);
+                total_states += res.numStates;
+                ++pairs;
+                if (res.violation) {
+                    if (res.violation->kind ==
+                        Violation::Kind::Deadlock) {
+                        ++deadlocks;
+                    } else {
+                        ++violations;
+                    }
+                    std::printf("  %s from %s: %s\n", sc.name.c_str(),
+                                init.name,
+                                res.violation->describe().c_str());
+                }
+            }
+        }
+        ok &= deadlocks == 0 && violations == 0;
+        table.addRow({init.name, std::to_string(pairs),
+                      std::to_string(total_states),
+                      std::to_string(deadlocks),
+                      std::to_string(violations)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\nReading: no pair of racing two-instruction programs can "
+        "wedge the\nprotocol: every interleaving retires both programs "
+        "and drains all\nchannels.  (The detector itself is exercised "
+        "by a crafted stuck state\nin tests/test_checker.cc.)\n");
+
+    std::printf("\nDeadlock grid: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * E8 — the proof-obligation matrix of paper Fig. 1 / Section 6-7.
+ *
+ * Reproduces three findings:
+ *   1. bare SWMR is *not* inductive: the paper's IMA/GO-M witness and
+ *      the matrix cells that fail (all GO/Data-consumption rules);
+ *   2. over the reachable closure, every obligation of the full
+ *      invariant is discharged;
+ *   3. the iterative-strengthening convergence series: each invariant
+ *      iteration leaves fewer failing cells over the boundary
+ *      universe (the loop of paper Section 7.1 that ended, for the
+ *      authors, at 796 conjuncts).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "obligation/matrix.hh"
+#include "obligation/universe.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+int
+main()
+{
+    bench::banner("Proof-obligation matrix (paper Fig. 1): "
+                  "inv(s) ∧ rule_i(s,s') ⟹ inv_j(s')");
+
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario scenario = Scenario::freeRunScenario();
+
+    // --- 1. The paper's Section 6 counterexample -----------------------
+    SystemState witness = swmrNonInductiveWitness(0);
+    Context ctx{&scenario};
+    const Rule *ima_go = rules.find("IMA_GO1");
+    SystemState post = witness;
+    bool fired = ima_go && ima_go->guard(witness, ctx) &&
+                 ima_go->apply(post, ctx);
+    std::printf(
+        "Paper witness  <DCache1=(0,IMA), H2DRsp1=[(GO,M,0)], "
+        "DCache2=(0,M)>:\n"
+        "  SWMR(pre)  = %s\n"
+        "  IMA_GO1 fires = %s\n"
+        "  SWMR(post) = %s   ==> bare SWMR is NOT inductive\n",
+        swmrHolds(witness) ? "true" : "false", fired ? "true" : "false",
+        swmrHolds(post) ? "true" : "false");
+
+    // --- 2/3. Matrix runs over invariant iterations --------------------
+    struct Iteration {
+        const char *name;
+        InvariantSet inv;
+    };
+    InvariantSet full = InvariantSet::full(config);
+    std::vector<Iteration> iterations;
+    iterations.push_back({"it0: SWMR only (Def. 6.1)",
+                          InvariantSet::swmrOnly()});
+    iterations.push_back(
+        {"it1: + paper's 4 sample families",
+         full.filtered({"swmr", "transient_swmr", "snoop_honesty",
+                        "channel_singleton", "data_conflict"})});
+    iterations.push_back(
+        {"it2: + directory/shape/progress",
+         full.filtered({"swmr", "transient_swmr", "snoop_honesty",
+                        "channel_singleton", "data_conflict",
+                        "directory", "host_transient", "message_shape",
+                        "request_state", "progress", "buffer",
+                        "tid_discipline"})});
+    iterations.push_back({"it3: + ordering refinements (full)", full});
+
+    TextTable table({"invariant iteration", "conjuncts", "universe",
+                     "cells (rules x conj)", "rule firings",
+                     "failing cells"});
+
+    std::uint64_t last_failed = 0;
+    for (const Iteration &it : iterations) {
+        UniverseOptions opt;
+        auto universe =
+            buildUniverse(rules, scenario, it.inv, opt, nullptr);
+        MatrixResult res = checkObligationMatrix(rules, scenario,
+                                                 it.inv, universe, {});
+        table.addRow({it.name, std::to_string(it.inv.size()),
+                      std::to_string(universe.size()),
+                      std::to_string(res.totalCells()),
+                      std::to_string(res.totalFirings),
+                      std::to_string(res.failedCellCount())});
+        last_failed = res.failedCellCount();
+    }
+
+    // Reachable closure: fully discharged.
+    UniverseOptions reach_opt;
+    reach_opt.perturbationsPerSeed = 0;
+    auto reachable =
+        buildUniverse(rules, scenario, full, reach_opt, nullptr);
+    MatrixResult reach_res =
+        checkObligationMatrix(rules, scenario, full, reachable, {});
+    table.addRow({"full inv, reachable closure only",
+                  std::to_string(full.size()),
+                  std::to_string(reachable.size()),
+                  std::to_string(reach_res.totalCells()),
+                  std::to_string(reach_res.totalFirings),
+                  std::to_string(reach_res.failedCellCount())});
+
+    std::printf("\n%s", table.render().c_str());
+
+    std::printf(
+        "\nReading: each strengthening iteration shrinks the set of\n"
+        "failing cells over the boundary universe (reachable states\n"
+        "plus invariant-satisfying perturbations); over the reachable\n"
+        "closure the full invariant discharges every obligation.  The\n"
+        "paper ran this same loop deductively until it converged at\n"
+        "796 conjuncts x 68 rules = 53,332 lemmas; our %zu x %zu = %zu\n"
+        "cells are checked in milliseconds per run, which is the\n"
+        "methodological payoff of the explicit-state substitution.\n",
+        rules.rules().size(), full.size(),
+        rules.rules().size() * full.size());
+
+    bool ok = swmrHolds(witness) && fired && !swmrHolds(post) &&
+              reach_res.failedCellCount() == 0 && last_failed > 0;
+    std::printf("\nObligation matrix: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * E11 — microbenchmarks (google-benchmark) backing the proof-scale
+ * discussion of paper Section 6: state hashing, tid canonicalisation,
+ * successor enumeration, invariant evaluation, store insertion, and
+ * end-to-end exhaustive verification throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "checker/explorer.hh"
+#include "checker/state_store.hh"
+#include "invariants/invariant.hh"
+#include "obligation/universe.hh"
+#include "protocol/rules.hh"
+
+using namespace cxl;
+
+namespace
+{
+
+SystemState
+busyState()
+{
+    SystemState s = initialBothShared(1);
+    s.dev[0].state = DState::SMAD;
+    s.dev[0].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.dev[1].h2dReq.pushBack({H2DReqOp::SnpInv, 1});
+    s.dev[1].h2dData.pushBack({1, 1, 0});
+    s.counter = 2;
+    return s;
+}
+
+void
+BM_StateHash(benchmark::State &state)
+{
+    SystemState s = busyState();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.hash());
+        s.counter ^= 1; // defeat value caching
+    }
+}
+BENCHMARK(BM_StateHash);
+
+void
+BM_CanonicaliseTids(benchmark::State &state)
+{
+    SystemState s = busyState();
+    for (auto _ : state) {
+        SystemState copy = s;
+        copy.canonicaliseTids();
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_CanonicaliseTids);
+
+void
+BM_SuccessorEnumeration(benchmark::State &state)
+{
+    RuleSet rules(ProtocolConfig::correct());
+    Scenario sc = Scenario::freeRunScenario();
+    SystemState s = busyState();
+    for (auto _ : state) {
+        auto succs = rules.successors(s, sc, true);
+        benchmark::DoNotOptimize(succs);
+    }
+}
+BENCHMARK(BM_SuccessorEnumeration);
+
+void
+BM_InvariantEvaluation(benchmark::State &state)
+{
+    InvariantSet inv = InvariantSet::full(ProtocolConfig::correct());
+    Scenario sc = Scenario::freeRunScenario();
+    Context ctx{&sc};
+    SystemState s = busyState();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inv.firstFailure(s, ctx));
+}
+BENCHMARK(BM_InvariantEvaluation);
+
+void
+BM_StateStoreInsert(benchmark::State &state)
+{
+    // Insert a fresh batch of distinct states per iteration.
+    std::vector<SystemState> batch;
+    for (int i = 0; i < 256; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i);
+        s.dev[0].pc = static_cast<std::uint8_t>(i >> 4);
+        batch.push_back(s);
+    }
+    for (auto _ : state) {
+        StateStore store(1024);
+        for (const auto &s : batch)
+            store.insert(s, StateStore::kNoParent, 0, 0);
+        benchmark::DoNotOptimize(store.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StateStoreInsert);
+
+void
+BM_ExhaustiveSwmrVerification(benchmark::State &state)
+{
+    // End-to-end Theorem 6.2: the full free-run space with all
+    // conjuncts checked on every state.
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario sc = Scenario::freeRunScenario();
+    InvariantSet inv = InvariantSet::full(config);
+    std::uint64_t states = 0;
+    for (auto _ : state) {
+        Explorer ex(rules, sc, inv);
+        ExploreResult res = ex.run();
+        states = res.numStates;
+        benchmark::DoNotOptimize(res.numStates);
+    }
+    state.SetItemsProcessed(state.iterations() * states);
+    state.counters["reachable_states"] =
+        static_cast<double>(states);
+}
+BENCHMARK(BM_ExhaustiveSwmrVerification)->Unit(benchmark::kMillisecond);
+
+void
+BM_LitmusExhaustive(benchmark::State &state)
+{
+    // The alternating_ops scenario: the largest litmus state space.
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario sc;
+    sc.initial = initialAllInvalid(0);
+    sc.program[0] = {Instr::Load, Instr::Store, Instr::Evict};
+    sc.program[1] = {Instr::Load, Instr::Store, Instr::Evict};
+    InvariantSet inv = InvariantSet::full(config);
+    for (auto _ : state) {
+        Explorer ex(rules, sc, inv);
+        ExploreResult res = ex.run();
+        benchmark::DoNotOptimize(res.numStates);
+    }
+}
+BENCHMARK(BM_LitmusExhaustive)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

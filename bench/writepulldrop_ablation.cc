@@ -1,0 +1,147 @@
+/**
+ * @file
+ * E10 — the Section 4.4 proposed-optimisation ablation: when a snoop
+ * has already invalidated an evicting line, the standard requires a
+ * GO_WritePull answered with Bogus-flagged data; the paper proposes
+ * GO_WritePullDrop, eliminating that D2H data transfer.
+ *
+ * We quantify the saving two ways: (a) across the whole free-run state
+ * graph, counting eviction-completion transitions that carry data, and
+ * (b) on a targeted eviction-race litmus scenario, counting the bogus
+ * messages on every maximal path class.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "checker/explorer.hh"
+#include "invariants/invariant.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+namespace
+{
+
+struct Tally {
+    std::uint64_t staleCompletions = 0; ///< IIA_GO_WritePull[Drop] fires
+    std::uint64_t bogusDataMsgs = 0;    ///< of which carry bogus data
+    std::uint64_t states = 0;
+    bool clean = false;
+};
+
+Tally
+measure(const ProtocolConfig &config, const Scenario &scenario)
+{
+    RuleSet rules(config);
+    InvariantSet inv = InvariantSet::full(config);
+    Explorer ex(rules, scenario, inv);
+    ExploreResult res = ex.run();
+
+    Tally tally;
+    tally.states = res.numStates;
+    tally.clean = res.completed && !res.violation;
+    for (const Rule &rule : rules.rules()) {
+        std::uint64_t fires = res.ruleFireCounts[rule.id];
+        if (rule.name.rfind("IIA_GO_WritePullDrop", 0) == 0) {
+            tally.staleCompletions += fires;
+        } else if (rule.name.rfind("IIA_GO_WritePull", 0) == 0) {
+            tally.staleCompletions += fires;
+            tally.bogusDataMsgs += fires;
+        }
+    }
+    return tally;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 4.4 ablation: GO_WritePullDrop on stale "
+                  "evictions vs. standard Bogus WritePull");
+
+    ProtocolConfig fix = ProtocolConfig::correct(); // staleEvictDrop on
+    ProtocolConfig standard;
+    standard.staleEvictDrop = false;
+
+    TextTable table({"scenario", "protocol", "states",
+                     "stale-evict completions", "bogus D2H data msgs",
+                     "invariant"});
+
+    bool ok = true;
+
+    // (a) whole free-run graph.
+    Scenario free = Scenario::freeRunScenario();
+    Tally fix_free = measure(fix, free);
+    Tally std_free = measure(standard, free);
+    table.addRow({"free-run (all behaviours)", "S4.4 drop",
+                  std::to_string(fix_free.states),
+                  std::to_string(fix_free.staleCompletions),
+                  std::to_string(fix_free.bogusDataMsgs),
+                  fix_free.clean ? "holds" : "VIOLATED"});
+    table.addRow({"free-run (all behaviours)", "standard",
+                  std::to_string(std_free.states),
+                  std::to_string(std_free.staleCompletions),
+                  std::to_string(std_free.bogusDataMsgs),
+                  std_free.clean ? "holds" : "VIOLATED"});
+    ok &= fix_free.clean && std_free.clean;
+    ok &= fix_free.bogusDataMsgs == 0 && std_free.bogusDataMsgs > 0;
+
+    // (b) targeted eviction race: a clean sharer evicts while the
+    // other device upgrades — the precise S3.2.5.4 scenario.
+    Scenario race;
+    race.name = "eviction_race";
+    race.initial = initialBothShared(0);
+    race.program[0] = {Instr::Evict};
+    race.program[1] = {Instr::Store};
+    Tally fix_race = measure(fix, race);
+    Tally std_race = measure(standard, race);
+    table.addRow({"evict vs store race", "S4.4 drop",
+                  std::to_string(fix_race.states),
+                  std::to_string(fix_race.staleCompletions),
+                  std::to_string(fix_race.bogusDataMsgs),
+                  fix_race.clean ? "holds" : "VIOLATED"});
+    table.addRow({"evict vs store race", "standard",
+                  std::to_string(std_race.states),
+                  std::to_string(std_race.staleCompletions),
+                  std::to_string(std_race.bogusDataMsgs),
+                  std_race.clean ? "holds" : "VIOLATED"});
+    ok &= fix_race.clean && std_race.clean;
+    ok &= fix_race.bogusDataMsgs == 0 && std_race.bogusDataMsgs > 0;
+
+    // Dirty variant of the race.
+    Scenario dirty;
+    dirty.name = "dirty_eviction_race";
+    dirty.initial = initialOneModified(0, 1, 0);
+    dirty.program[0] = {Instr::Evict};
+    dirty.program[1] = {Instr::Store};
+    Tally fix_dirty = measure(fix, dirty);
+    Tally std_dirty = measure(standard, dirty);
+    table.addRow({"dirty evict vs store race", "S4.4 drop",
+                  std::to_string(fix_dirty.states),
+                  std::to_string(fix_dirty.staleCompletions),
+                  std::to_string(fix_dirty.bogusDataMsgs),
+                  fix_dirty.clean ? "holds" : "VIOLATED"});
+    table.addRow({"dirty evict vs store race", "standard",
+                  std::to_string(std_dirty.states),
+                  std::to_string(std_dirty.staleCompletions),
+                  std::to_string(std_dirty.bogusDataMsgs),
+                  std_dirty.clean ? "holds" : "VIOLATED"});
+    ok &= fix_dirty.clean && std_dirty.clean;
+    ok &= fix_dirty.bogusDataMsgs == 0;
+
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\nReading: under the standard behaviour every snoop-killed\n"
+        "eviction costs one Bogus D2H data message that the host\n"
+        "discards on arrival; the paper's proposed GO_WritePullDrop\n"
+        "eliminates 100%% of that traffic while coherence (the full\n"
+        "invariant) holds under both behaviours — supporting the\n"
+        "optimisation's safety, which the CXL consortium is still\n"
+        "evaluating (paper Section 4.4).\n");
+
+    std::printf("\nWritePullDrop ablation: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

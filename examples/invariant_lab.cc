@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Example: the iterative invariant-strengthening loop of paper
+ * Section 7.1, interactive edition.
+ *
+ * Starts from bare SWMR, runs the obligation matrix over a boundary
+ * universe, groups the failing cells by conjunct, and shows a concrete
+ * witness transition for the first failure — the exact feedback the
+ * paper's authors worked from for a few dozen iterations until their
+ * invariant converged at 796 conjuncts.
+ *
+ * Usage:
+ *   invariant_lab [--iteration 0..3] [--witnesses N]
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "obligation/matrix.hh"
+#include "obligation/universe.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+
+using namespace cxl;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    int iteration = static_cast<int>(args.getInt("iteration", 0));
+    int witnesses = static_cast<int>(args.getInt("witnesses", 1));
+
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario scenario = Scenario::freeRunScenario();
+    InvariantSet full = InvariantSet::full(config);
+
+    InvariantSet inv = InvariantSet::swmrOnly();
+    const char *label = "bare SWMR (Definition 6.1)";
+    switch (iteration) {
+      case 0:
+        break;
+      case 1:
+        inv = full.filtered({"swmr", "transient_swmr", "snoop_honesty",
+                             "channel_singleton", "data_conflict"});
+        label = "SWMR + the paper's four sample conjunct families";
+        break;
+      case 2:
+        inv = full.filtered(
+            {"swmr", "transient_swmr", "snoop_honesty",
+             "channel_singleton", "data_conflict", "directory",
+             "host_transient", "message_shape", "request_state",
+             "progress", "buffer", "tid_discipline", "data_value"});
+        label = "iteration 2: + directory / shape / progress families";
+        break;
+      default:
+        inv = full;
+        label = "iteration 3: the full strengthened invariant";
+        break;
+    }
+
+    std::printf("invariant: %s (%zu conjuncts)\n", label, inv.size());
+
+    UniverseOptions opt;
+    UniverseStats stats;
+    auto universe = buildUniverse(rules, scenario, inv, opt, &stats);
+    std::printf("universe : %zu states (%zu reachable seeds + %zu "
+                "accepted perturbations)\n",
+                universe.size(), stats.reachableSeeds,
+                stats.perturbedAccepted);
+
+    MatrixResult res =
+        checkObligationMatrix(rules, scenario, inv, universe, {});
+    std::printf("matrix   : %zu rules x %zu conjuncts = %zu cells, "
+                "%llu failing\n\n",
+                res.numRules, res.numConjuncts, res.totalCells(),
+                static_cast<unsigned long long>(res.failedCellCount()));
+
+    if (res.failures.empty()) {
+        std::printf("every obligation discharged over this universe — "
+                    "the invariant survived this round.\n");
+        return 0;
+    }
+
+    std::map<std::string, int> by_conjunct;
+    for (const FailedCell &cell : res.failures)
+        ++by_conjunct[cell.conjunctName];
+
+    TextTable table({"failing conjunct", "# rules breaking it"});
+    for (const auto &[name, count] : by_conjunct)
+        table.addRow({name, std::to_string(count)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("each failing column above asks for a *supporting* "
+                "conjunct that\nexcludes the pre-state below from the "
+                "invariant (paper Section 7.1).\n\n");
+
+    int shown = 0;
+    for (const FailedCell &cell : res.failures) {
+        if (shown++ >= witnesses)
+            break;
+        std::printf("witness %d: rule %s breaks %s\n  pre  (satisfies "
+                    "the invariant):\n%s  post (violates the "
+                    "conjunct):\n%s\n",
+                    shown, cell.ruleName.c_str(),
+                    cell.conjunctName.c_str(), cell.pre.dump().c_str(),
+                    cell.post.dump().c_str());
+    }
+    return 0;
+}

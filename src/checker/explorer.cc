@@ -1,0 +1,184 @@
+#include "checker/explorer.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+namespace cxl
+{
+
+std::string
+Violation::describe() const
+{
+    std::string txt;
+    switch (kind) {
+      case Kind::Conjunct:
+        txt = "conjunct '" + conjunctName + "' (family " +
+              conjunctFamily + ") violated";
+        break;
+      case Kind::Overflow:
+        txt = "channel overflow";
+        break;
+      case Kind::Deadlock:
+        txt = "deadlock before program completion";
+        break;
+    }
+    txt += " at depth " + std::to_string(depth);
+    return txt;
+}
+
+Explorer::Explorer(const RuleSet &rules, const Scenario &scenario,
+                   const InvariantSet &invariants)
+    : rules_(rules), scenario_(scenario), invariants_(invariants)
+{
+}
+
+std::vector<TraceStep>
+Explorer::rebuildTrace(const StateStore &store, std::uint32_t idx) const
+{
+    std::vector<TraceStep> trace;
+    std::uint32_t cur = idx;
+    while (cur != StateStore::kNoParent) {
+        const StateStore::Entry &e = store.entry(cur);
+        TraceStep step;
+        step.state = e.state;
+        if (e.parent != StateStore::kNoParent)
+            step.ruleName = rules_.rules()[e.ruleId].name;
+        trace.push_back(std::move(step));
+        cur = e.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+}
+
+ExploreResult
+Explorer::run(const ExploreOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+
+    ExploreResult result;
+    result.ruleFireCounts.assign(rules_.rules().size(), 0);
+
+    StateStore store;
+    std::deque<std::uint32_t> frontier;
+    Context ctx{&scenario_};
+
+    auto symmetry_canon = [&options](SystemState &s) {
+        if (!options.symmetryReduction)
+            return;
+        SystemState swapped = s.swappedDevices();
+        if (options.canonicaliseTids)
+            swapped.canonicaliseTids();
+        if (swapped.bytewiseLess(s))
+            s = swapped;
+    };
+
+    SystemState init = scenario_.initial;
+    if (options.canonicaliseTids)
+        init.canonicaliseTids();
+    symmetry_canon(init);
+
+    auto [init_idx, inserted] =
+        store.insert(init, StateStore::kNoParent, 0, 0);
+    (void)inserted;
+    frontier.push_back(init_idx);
+
+    auto report = [&](Violation::Kind kind, const Conjunct *conjunct,
+                      std::uint32_t idx, std::uint32_t depth) {
+        ++result.violationCount;
+        if (result.violation)
+            return false; // keep only the first trace
+        Violation v;
+        v.kind = kind;
+        if (conjunct) {
+            v.conjunctName = conjunct->name;
+            v.conjunctFamily = conjunct->family;
+        }
+        v.stateIndex = idx;
+        v.depth = depth;
+        v.trace = rebuildTrace(store, idx);
+        result.violation = std::move(v);
+        return options.stopAtFirstViolation;
+    };
+
+    // Check the initial state itself.
+    if (options.checkInvariants) {
+        if (const Conjunct *bad =
+                invariants_.firstFailure(init, ctx)) {
+            report(Violation::Kind::Conjunct, bad, init_idx, 0);
+            if (options.stopAtFirstViolation) {
+                result.numStates = store.size();
+                return result;
+            }
+        }
+    }
+
+    bool stopped = false;
+    while (!frontier.empty() && !stopped) {
+        std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+
+        // Copy: store.insert below may reallocate the entry array.
+        const SystemState state = store.entry(idx).state;
+        const std::uint16_t depth = store.entry(idx).depth;
+        result.maxDepth = std::max<std::uint32_t>(result.maxDepth, depth);
+
+        if (depth >= options.maxDepth)
+            continue;
+
+        auto succs = rules_.successors(state, scenario_,
+                                       options.canonicaliseTids);
+
+        if (succs.empty() && options.checkDeadlock &&
+            !scenario_.freeRun && !scenario_.finished(state)) {
+            if (report(Violation::Kind::Deadlock, nullptr, idx, depth))
+                break;
+        }
+
+        for (auto &succ : succs) {
+            ++result.numTransitions;
+            ++result.ruleFireCounts[succ.rule->id];
+            symmetry_canon(succ.state);
+
+            auto [succ_idx, is_new] =
+                store.insert(succ.state, idx, succ.rule->id,
+                             static_cast<std::uint16_t>(depth + 1));
+            if (!is_new)
+                continue;
+
+            if (succ.overflow) {
+                if (report(Violation::Kind::Overflow, nullptr, succ_idx,
+                           depth + 1)) {
+                    stopped = true;
+                    break;
+                }
+            }
+            if (options.checkInvariants) {
+                if (const Conjunct *bad =
+                        invariants_.firstFailure(succ.state, ctx)) {
+                    if (report(Violation::Kind::Conjunct, bad, succ_idx,
+                               depth + 1)) {
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+
+            if (store.size() >= options.maxStates) {
+                stopped = true;
+                break;
+            }
+            frontier.push_back(succ_idx);
+        }
+    }
+
+    result.numStates = store.size();
+    result.completed = frontier.empty() && !stopped;
+
+    auto end = std::chrono::steady_clock::now();
+    result.seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace cxl

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Breadth-first explicit-state explorer.
+ *
+ * This is the reproduction's counterpart of the paper's SWMR theorem
+ * (Section 6): for the finite two-device, one-location model we
+ * enumerate *every* reachable state and evaluate *every* invariant
+ * conjunct on each, instead of proving preservation deductively.  On a
+ * violation (or deadlock, if requested) the explorer reconstructs the
+ * full rule-labelled trace from the initial state — the counterpart of
+ * the paper's message-sequence-chart counterexamples (Fig. 5).
+ */
+
+#ifndef CXL_CHECKER_EXPLORER_HH
+#define CXL_CHECKER_EXPLORER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/state_store.hh"
+#include "invariants/invariant.hh"
+#include "protocol/rules.hh"
+#include "protocol/scenario.hh"
+
+namespace cxl
+{
+
+/** Exploration limits and switches. */
+struct ExploreOptions {
+    std::uint64_t maxStates = 20'000'000;
+    std::uint32_t maxDepth = 60000;
+
+    /** Relabel tids per state; required for free-run finiteness. */
+    bool canonicaliseTids = true;
+
+    /**
+     * Identify device-permutation-symmetric states (classic Murphi
+     * scalarset reduction).  Only sound when the scenario itself is
+     * device-symmetric (free-run, or identical programs from a
+     * symmetric initial state).
+     */
+    bool symmetryReduction = false;
+
+    /** Evaluate the invariant set on every reachable state. */
+    bool checkInvariants = true;
+
+    /** Stop at the first violation (otherwise count them all). */
+    bool stopAtFirstViolation = true;
+
+    /**
+     * Report states with no enabled rule before the programs finished
+     * (program mode only; free-run states always have successors).
+     */
+    bool checkDeadlock = true;
+};
+
+/** A single step of a counterexample trace. */
+struct TraceStep {
+    std::string ruleName; ///< empty for the initial state
+    SystemState state;
+};
+
+/** Description of a found violation. */
+struct Violation {
+    enum class Kind : std::uint8_t {
+        Conjunct,  ///< an invariant conjunct failed
+        Overflow,  ///< a rule overfilled a channel (mutated models)
+        Deadlock,  ///< no rule enabled before program completion
+    };
+
+    Kind kind = Kind::Conjunct;
+    std::string conjunctName;   ///< valid for Kind::Conjunct
+    std::string conjunctFamily; ///< valid for Kind::Conjunct
+    std::uint32_t stateIndex = 0;
+    std::uint32_t depth = 0;
+
+    /** Rule-labelled path from the initial state to the bad state. */
+    std::vector<TraceStep> trace;
+
+    std::string describe() const;
+};
+
+/** Aggregate exploration results. */
+struct ExploreResult {
+    std::uint64_t numStates = 0;      ///< distinct reachable states
+    std::uint64_t numTransitions = 0; ///< rule firings examined
+    std::uint32_t maxDepth = 0;       ///< BFS diameter reached
+    bool completed = false;           ///< frontier fully drained
+    std::uint64_t violationCount = 0; ///< violations seen (counted mode)
+    std::optional<Violation> violation;
+    double seconds = 0.0;
+
+    /** Per-rule firing counts, indexed by rule id. */
+    std::vector<std::uint64_t> ruleFireCounts;
+};
+
+/**
+ * BFS over the reachable states of (rules, scenario), checking
+ * invariants on the way.
+ */
+class Explorer
+{
+  public:
+    Explorer(const RuleSet &rules, const Scenario &scenario,
+             const InvariantSet &invariants);
+
+    /** Run to completion or until a limit/violation stops the walk. */
+    ExploreResult run(const ExploreOptions &options = {});
+
+  private:
+    std::vector<TraceStep> rebuildTrace(const StateStore &store,
+                                        std::uint32_t idx) const;
+
+    const RuleSet &rules_;
+    const Scenario &scenario_;
+    const InvariantSet &invariants_;
+};
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_EXPLORER_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Randomised walk testing, in the spirit of gem5's Ruby Random Tester:
+ * a cheap complement to exhaustive BFS that samples long interleaving
+ * paths uniformly at random and checks the invariant at every step.
+ *
+ * For this model BFS is exhaustive anyway; the walker exists (a) as a
+ * scalable fallback for extended models whose state spaces outgrow
+ * exhaustive search, and (b) as an independent implementation that
+ * cross-checks the explorer (both must agree on the correct model's
+ * cleanliness and find violations in mutated ones).
+ */
+
+#ifndef CXL_CHECKER_RANDOM_WALK_HH
+#define CXL_CHECKER_RANDOM_WALK_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "checker/explorer.hh"
+#include "invariants/invariant.hh"
+#include "protocol/rules.hh"
+
+namespace cxl
+{
+
+/** Random-walk parameters. */
+struct RandomWalkOptions {
+    std::uint64_t seed = 1;
+    std::uint64_t walks = 256;     ///< independent walks from initial
+    std::uint32_t maxSteps = 256;  ///< step budget per walk
+    bool canonicaliseTids = true;
+};
+
+/** Aggregate results over all walks. */
+struct RandomWalkResult {
+    std::uint64_t walks = 0;
+    std::uint64_t steps = 0;          ///< total transitions taken
+    std::uint64_t terminalWalks = 0;  ///< walks that hit a state with
+                                      ///< no successors
+    std::optional<Violation> violation;
+    double seconds = 0.0;
+};
+
+/** Uniform-random walker over the transition system. */
+class RandomWalker
+{
+  public:
+    RandomWalker(const RuleSet &rules, const Scenario &scenario,
+                 const InvariantSet &invariants);
+
+    /** Run the configured number of walks; stops at a violation. */
+    RandomWalkResult run(const RandomWalkOptions &options = {}) const;
+
+  private:
+    const RuleSet &rules_;
+    const Scenario &scenario_;
+    const InvariantSet &invariants_;
+};
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_RANDOM_WALK_HH

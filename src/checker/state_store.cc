@@ -1,0 +1,59 @@
+#include "checker/state_store.hh"
+
+#include <cassert>
+
+namespace cxl
+{
+
+StateStore::StateStore(std::size_t initial_buckets)
+{
+    std::size_t cap = 16;
+    while (cap < initial_buckets)
+        cap <<= 1;
+    buckets_.assign(cap, 0);
+    mask_ = cap - 1;
+}
+
+std::pair<std::uint32_t, bool>
+StateStore::insert(const SystemState &state, std::uint32_t parent,
+                   std::uint16_t rule_id, std::uint16_t depth)
+{
+    if ((entries_.size() + 1) * 10 >= buckets_.size() * 7)
+        grow();
+
+    std::uint64_t slot = state.hash() & mask_;
+    for (;;) {
+        std::uint32_t bucket = buckets_[slot];
+        if (bucket == 0) {
+            Entry e;
+            e.state = state;
+            e.parent = parent;
+            e.ruleId = rule_id;
+            e.depth = depth;
+            entries_.push_back(e);
+            auto idx = static_cast<std::uint32_t>(entries_.size() - 1);
+            buckets_[slot] = idx + 1;
+            return {idx, true};
+        }
+        std::uint32_t idx = bucket - 1;
+        if (entries_[idx].state == state)
+            return {idx, false};
+        slot = (slot + 1) & mask_;
+    }
+}
+
+void
+StateStore::grow()
+{
+    std::size_t cap = buckets_.size() * 2;
+    buckets_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (std::uint32_t idx = 0; idx < entries_.size(); ++idx) {
+        std::uint64_t slot = entries_[idx].state.hash() & mask_;
+        while (buckets_[slot] != 0)
+            slot = (slot + 1) & mask_;
+        buckets_[slot] = idx + 1;
+    }
+}
+
+} // namespace cxl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Visited-state store of the explicit-state checker.
+ *
+ * An open-addressing hash table maps state fingerprints to indices in
+ * a dense entry array; each entry keeps the state itself plus
+ * parent/rule breadcrumbs so that counterexample traces can be
+ * reconstructed Murphi-style.
+ */
+
+#ifndef CXL_CHECKER_STATE_STORE_HH
+#define CXL_CHECKER_STATE_STORE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "protocol/state.hh"
+
+namespace cxl
+{
+
+/** Dense store of deduplicated states with BFS parent pointers. */
+class StateStore
+{
+  public:
+    /** Sentinel parent index for root states. */
+    static constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+    struct Entry {
+        SystemState state;
+        std::uint32_t parent = kNoParent;
+        std::uint16_t ruleId = 0; ///< rule that produced this state
+        std::uint16_t depth = 0;  ///< BFS depth from the initial state
+    };
+
+    explicit StateStore(std::size_t initial_buckets = 1 << 16);
+
+    /**
+     * Insert a state if new.
+     *
+     * @return (index, inserted): index of the canonical entry for the
+     *         state, and whether this call created it.
+     */
+    std::pair<std::uint32_t, bool>
+    insert(const SystemState &state, std::uint32_t parent,
+           std::uint16_t rule_id, std::uint16_t depth);
+
+    const Entry &
+    entry(std::uint32_t idx) const
+    {
+        return entries_[idx];
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    void grow();
+
+    std::vector<Entry> entries_;
+    /// Bucket content is entry index + 1; 0 means empty.
+    std::vector<std::uint32_t> buckets_;
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_STATE_STORE_HH

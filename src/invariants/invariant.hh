@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The invariant library: SWMR (paper Definition 6.1) plus the
+ * auxiliary conjunct families that strengthen it into an invariant
+ * that holds in every reachable state — the executable counterpart of
+ * the paper's 796-conjunct inductive invariant (Section 6).
+ *
+ * Conjuncts are small named predicates over the system state,
+ * organised into families and instantiated per device / direction.
+ * The model checker evaluates all of them on every reachable state;
+ * the obligation-matrix engine additionally tests each (rule,
+ * conjunct) cell for inductiveness, mirroring paper Figure 1.
+ */
+
+#ifndef CXL_INVARIANTS_INVARIANT_HH
+#define CXL_INVARIANTS_INVARIANT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocol/config.hh"
+#include "protocol/rules.hh"
+#include "protocol/state.hh"
+
+namespace cxl
+{
+
+/** One named conjunct of the system invariant. */
+struct Conjunct {
+    std::uint16_t id = 0;
+    std::string name;        ///< unique, e.g. "swmr_d1"
+    std::string family;      ///< e.g. "swmr", "channel_singleton"
+    std::string description; ///< human-readable statement
+
+    std::function<bool(const SystemState &, const Context &)> holds;
+};
+
+/**
+ * An ordered collection of conjuncts; conceptually their conjunction.
+ */
+class InvariantSet
+{
+  public:
+    InvariantSet() = default;
+    explicit InvariantSet(std::vector<Conjunct> conjuncts);
+
+    /**
+     * The full strengthened invariant for a configuration.  A few
+     * conjuncts hold only for particular spec-fix toggles (e.g. the
+     * paper's "host and device data channels must not conflict" needs
+     * the Section 4.4 stale-evict drop); the builder includes exactly
+     * the conjuncts valid for @p config.
+     */
+    static InvariantSet full(const ProtocolConfig &config);
+
+    /** Just SWMR — demonstrably *not* inductive (paper Section 6). */
+    static InvariantSet swmrOnly();
+
+    /** The subset of this set whose families are in @p families. */
+    InvariantSet
+    filtered(const std::vector<std::string> &families) const;
+
+    const std::vector<Conjunct> &conjuncts() const { return conjuncts_; }
+    std::size_t size() const { return conjuncts_.size(); }
+
+    /**
+     * Evaluate every conjunct.
+     *
+     * @return the first failing conjunct, or nullptr if all hold.
+     */
+    const Conjunct *firstFailure(const SystemState &s,
+                                 const Context &ctx) const;
+
+    /** True iff every conjunct holds. */
+    bool
+    holds(const SystemState &s, const Context &ctx) const
+    {
+        return firstFailure(s, ctx) == nullptr;
+    }
+
+    /** Find a conjunct by name; nullptr when absent. */
+    const Conjunct *find(const std::string &name) const;
+
+    /** Distinct family names, in first-appearance order. */
+    std::vector<std::string> families() const;
+
+  private:
+    std::vector<Conjunct> conjuncts_;
+};
+
+/**
+ * The SWMR property alone (paper Definition 6.1): no device has write
+ * access while the other has read or write access.
+ */
+bool swmrHolds(const SystemState &s);
+
+} // namespace cxl
+
+#endif // CXL_INVARIANTS_INVARIANT_HH

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The built-in litmus suite (paper Section 5.1) and the
+ * restriction-relaxation tests (Section 5.2).
+ *
+ * The paper's GitHub artifact ships 8 litmus tests covering reads and
+ * writes issued concurrently, multiple reads, multiple writes,
+ * multiple evicts, and alternating sequences; this suite mirrors that
+ * coverage and adds the two table walks (clean/dirty evict) as
+ * exhaustive variants.
+ */
+
+#include "litmus/litmus.hh"
+
+namespace cxl
+{
+namespace
+{
+
+bool
+allDrained(const SystemState &s)
+{
+    for (const auto &d : s.dev) {
+        if (!d.d2hReq.empty() || !d.d2hRsp.empty() ||
+            !d.d2hData.empty() || !d.h2dReq.empty() ||
+            !d.h2dRsp.empty() || !d.h2dData.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+devStable(const SystemState &s)
+{
+    return isStable(s.dev[0].state) && isStable(s.dev[1].state) &&
+           isStable(s.hstate);
+}
+
+} // namespace
+
+std::vector<LitmusTest>
+builtinLitmusSuite()
+{
+    std::vector<LitmusTest> tests;
+
+    {
+        // Table 1: an eviction from a clean cache ends successfully.
+        LitmusTest t;
+        t.name = "clean_evict_test";
+        t.description =
+            "Device 1 evicts a clean shared line twice; the line ends "
+            "invalid on device 1 and shared on device 2.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(0);
+        t.scenario.program[0] = {Instr::Evict, Instr::Evict};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.dev[1].state == DState::S &&
+                   s.hstate == HState::S && allDrained(s);
+        };
+        t.finalCheckDescription = "D1=I, D2=S, H=S, channels drained";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // Table 2: a dirty eviction writes back through GO_WritePull.
+        LitmusTest t;
+        t.name = "dirty_evict_test";
+        t.description =
+            "Device 1 evicts a dirty line; the writeback lands in the "
+            "host and the directory drops to I.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialOneModified(0, 1, 0);
+        t.scenario.program[0] = {Instr::Evict};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.hstate == HState::I && s.hval == 1 && allDrained(s);
+        };
+        t.finalCheckDescription = "D1=I, H=I with written-back value 1";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // Concurrent read and write from invalid (the Table 3 programs,
+        // but under the *correct* protocol).
+        LitmusTest t;
+        t.name = "concurrent_read_write";
+        t.description =
+            "Device 1 stores while device 2 loads; every interleaving "
+            "stays coherent.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialAllInvalid(0);
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Load};
+        t.finalCheck = devStable;
+        t.finalCheckDescription = "all caches stable";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        LitmusTest t;
+        t.name = "multiple_reads";
+        t.description = "Both devices load; both end shared.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialAllInvalid(7);
+        t.scenario.program[0] = {Instr::Load, Instr::Load};
+        t.scenario.program[1] = {Instr::Load, Instr::Load};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::S &&
+                   s.dev[1].state == DState::S &&
+                   s.hstate == HState::S && s.dev[0].val == 7 &&
+                   s.dev[1].val == 7 && allDrained(s);
+        };
+        t.finalCheckDescription = "both devices S with the memory value";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        LitmusTest t;
+        t.name = "multiple_writes";
+        t.description =
+            "Both devices store twice; exactly one device ends as "
+            "owner and the loser is invalid.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialAllInvalid(0);
+        t.scenario.program[0] = {Instr::Store, Instr::Store};
+        t.scenario.program[1] = {Instr::Store, Instr::Store};
+        t.finalCheck = [](const SystemState &s) {
+            bool one_owner =
+                (s.dev[0].state == DState::M) !=
+                (s.dev[1].state == DState::M);
+            bool loser_invalid = s.dev[0].state == DState::I ||
+                                 s.dev[1].state == DState::I;
+            return one_owner && loser_invalid && s.hstate == HState::M &&
+                   allDrained(s);
+        };
+        t.finalCheckDescription = "exactly one owner, other invalid";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        LitmusTest t;
+        t.name = "multiple_evicts";
+        t.description =
+            "Both devices evict a shared line; the directory drains to "
+            "I.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(3);
+        t.scenario.program[0] = {Instr::Evict};
+        t.scenario.program[1] = {Instr::Evict};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.dev[1].state == DState::I &&
+                   s.hstate == HState::I && allDrained(s);
+        };
+        t.finalCheckDescription = "everything invalid and drained";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // Upgrade race: both sharers try to become owner.
+        LitmusTest t;
+        t.name = "upgrade_race";
+        t.description =
+            "Both devices hold S and store; one upgrade wins, the "
+            "other is invalidated and re-acquires.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(5);
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Store};
+        t.finalCheck = [](const SystemState &s) {
+            bool one_owner =
+                (s.dev[0].state == DState::M) !=
+                (s.dev[1].state == DState::M);
+            return one_owner && s.hstate == HState::M && allDrained(s);
+        };
+        t.finalCheckDescription = "exactly one final owner";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // A dirty owner evicts while the other device reads.
+        LitmusTest t;
+        t.name = "dirty_evict_vs_read";
+        t.description =
+            "Device 1 evicts its dirty line while device 2 loads; "
+            "device 2 must observe the written-back value.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialOneModified(0, 1, 0);
+        t.scenario.program[0] = {Instr::Evict};
+        t.scenario.program[1] = {Instr::Load};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.dev[1].state == DState::S && s.dev[1].val == 1 &&
+                   allDrained(s);
+        };
+        t.finalCheckDescription =
+            "D2 sees the dirty value 1 regardless of interleaving";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // A dirty owner evicts while the other device writes.
+        LitmusTest t;
+        t.name = "dirty_evict_vs_write";
+        t.description =
+            "Device 1 evicts its dirty line while device 2 stores; "
+            "device 2 ends as the sole owner.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialOneModified(0, 1, 0);
+        t.scenario.program[0] = {Instr::Evict};
+        t.scenario.program[1] = {Instr::Store};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.dev[1].state == DState::M && s.dev[1].val == 2 &&
+                   s.hstate == HState::M && allDrained(s);
+        };
+        t.finalCheckDescription = "D2 sole owner with its stored value";
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // Alternating reads, writes and evicts on both devices.
+        LitmusTest t;
+        t.name = "alternating_ops";
+        t.description =
+            "Load-store-evict sequences race on both devices; all "
+            "interleavings stay coherent and terminate cleanly.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialAllInvalid(0);
+        t.scenario.program[0] = {Instr::Load, Instr::Store, Instr::Evict};
+        t.scenario.program[1] = {Instr::Load, Instr::Store, Instr::Evict};
+        t.finalCheck = [](const SystemState &s) {
+            return s.dev[0].state == DState::I &&
+                   s.dev[1].state == DState::I && allDrained(s);
+        };
+        t.finalCheckDescription = "both devices evicted at the end";
+        tests.push_back(std::move(t));
+    }
+
+    return tests;
+}
+
+std::vector<LitmusTest>
+restrictionRelaxationSuite()
+{
+    std::vector<LitmusTest> tests;
+
+    {
+        // Table 3 / Fig. 5: relaxing Snoop-pushes-GO breaks SWMR.
+        LitmusTest t;
+        t.name = "snoop_pushes_go_test";
+        t.description =
+            "With the Snoop-pushes-GO restriction relaxed, a store "
+            "racing a load reaches a state where both devices hold "
+            "valid copies while one is modified (Table 3).";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialAllInvalid(0);
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Load};
+        t.config.relaxSnoopPushesGo = true;
+        t.expectViolation = true;
+        t.expectedViolationFamily = "swmr";
+        // Check pure SWMR, as in the paper's Table 3 walk; the
+        // strengthened invariant would flag the bug one step earlier
+        // (see the restriction_ablation bench).
+        t.restrictToFamilies = {"swmr"};
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // Same restriction, second instance: the SMAD upgrade race.
+        // Device 1 is the sole sharer and upgrades; its GO-M is in
+        // flight when device 2's competing RdOwn snoops it.  The
+        // relaxed device answers the snoop from SMAD, then still
+        // consumes the stale ownership grant — its RspIHitSE claim
+        // was a lie, which the snoop-honesty conjuncts catch.
+        LitmusTest t;
+        t.name = "smad_snoop_guard_test";
+        t.description =
+            "Relaxing the H2DRsp-empty guard on SMADSnpInv lets a "
+            "snooped upgrader consume its stale GO-M after claiming "
+            "invalidation.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(0);
+        t.scenario.initial.dev[1].state = DState::I;
+        t.scenario.initial.dev[1].val = 0;
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Store};
+        t.config.relaxSmadSnoopGuard = true;
+        t.expectViolation = true;
+        t.expectedViolationFamily = "snoop_honesty";
+        t.restrictToFamilies = {"swmr", "snoop_honesty"};
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // GO-cannot-tailgate-snoop.
+        LitmusTest t;
+        t.name = "go_tailgate_test";
+        t.description =
+            "If the host sends the ownership GO together with the "
+            "snoop it depends on, the old sharer and the new owner "
+            "coexist.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(0);
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Load};
+        t.config.relaxGoTailgate = true;
+        t.expectViolation = true;
+        t.expectedViolationFamily = "swmr";
+        t.restrictToFamilies = {"swmr"};
+        tests.push_back(std::move(t));
+    }
+
+    {
+        // One-snoop-pending (CXL 3.1 S3.2.5.5).
+        LitmusTest t;
+        t.name = "one_snoop_test";
+        t.description =
+            "A second snoop dispatched before the first response "
+            "breaks the singleton-channel discipline the protocol "
+            "depends on.";
+        t.scenario.name = t.name;
+        t.scenario.initial = initialBothShared(0);
+        t.scenario.program[0] = {Instr::Store};
+        t.scenario.program[1] = {Instr::Load};
+        t.config.relaxOneSnoop = true;
+        t.expectViolation = true;
+        t.expectedViolationFamily = "channel_singleton";
+        t.restrictToFamilies = {"swmr", "channel_singleton"};
+        tests.push_back(std::move(t));
+    }
+
+    return tests;
+}
+
+} // namespace cxl

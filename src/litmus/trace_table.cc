@@ -1,0 +1,139 @@
+#include "litmus/trace_table.hh"
+
+#include "support/table.hh"
+
+namespace cxl
+{
+namespace
+{
+
+template <typename T, std::size_t N>
+std::string
+chanText(const InlineVec<T, N> &chan)
+{
+    std::string txt = "[";
+    for (std::size_t i = 0; i < chan.size(); ++i) {
+        if (i)
+            txt += ", ";
+        txt += toString(chan[i]);
+    }
+    return txt + "]";
+}
+
+std::string
+progText(const SystemState &s, const Scenario &scenario, int dev)
+{
+    if (scenario.freeRun)
+        return "(free)";
+    std::string txt = "[";
+    const auto &prog = scenario.program[dev];
+    for (std::size_t i = s.dev[dev].pc; i < prog.size(); ++i) {
+        if (i != s.dev[dev].pc)
+            txt += ", ";
+        txt += toString(prog[i]);
+    }
+    return txt + "]";
+}
+
+std::string
+cacheText(Val v, const std::string &state)
+{
+    return "(" + std::to_string(v) + ", " + state + ")";
+}
+
+template <typename Step>
+std::string
+renderSteps(const std::vector<Step> &steps, const Scenario &scenario,
+            const std::vector<StateColumn> &columns, bool markdown)
+{
+    std::vector<std::string> header{"transition rule"};
+    for (StateColumn col : columns)
+        header.push_back(columnName(col));
+
+    TextTable table(header);
+    for (const Step &step : steps) {
+        std::vector<std::string> row;
+        row.push_back(step.ruleName.empty() ? "(initial state)"
+                                            : step.ruleName);
+        for (StateColumn col : columns)
+            row.push_back(formatColumn(step.state, scenario, col));
+        table.addRow(std::move(row));
+    }
+    return table.render(markdown);
+}
+
+} // namespace
+
+std::string
+columnName(StateColumn col)
+{
+    switch (col) {
+      case StateColumn::DProg1: return "DProg1";
+      case StateColumn::DProg2: return "DProg2";
+      case StateColumn::DCache1: return "DCache1";
+      case StateColumn::DCache2: return "DCache2";
+      case StateColumn::D2HReq1: return "D2HReq1";
+      case StateColumn::D2HReq2: return "D2HReq2";
+      case StateColumn::D2HRsp1: return "D2HRsp1";
+      case StateColumn::D2HRsp2: return "D2HRsp2";
+      case StateColumn::D2HData1: return "D2HData1";
+      case StateColumn::D2HData2: return "D2HData2";
+      case StateColumn::H2DReq1: return "H2DReq1";
+      case StateColumn::H2DReq2: return "H2DReq2";
+      case StateColumn::H2DRsp1: return "H2DRsp1";
+      case StateColumn::H2DRsp2: return "H2DRsp2";
+      case StateColumn::H2DData1: return "H2DData1";
+      case StateColumn::H2DData2: return "H2DData2";
+      case StateColumn::HCache: return "HCache";
+      case StateColumn::Counter: return "Counter";
+    }
+    return "?";
+}
+
+std::string
+formatColumn(const SystemState &s, const Scenario &scenario,
+             StateColumn col)
+{
+    switch (col) {
+      case StateColumn::DProg1: return progText(s, scenario, 0);
+      case StateColumn::DProg2: return progText(s, scenario, 1);
+      case StateColumn::DCache1:
+        return cacheText(s.dev[0].val, toString(s.dev[0].state));
+      case StateColumn::DCache2:
+        return cacheText(s.dev[1].val, toString(s.dev[1].state));
+      case StateColumn::D2HReq1: return chanText(s.dev[0].d2hReq);
+      case StateColumn::D2HReq2: return chanText(s.dev[1].d2hReq);
+      case StateColumn::D2HRsp1: return chanText(s.dev[0].d2hRsp);
+      case StateColumn::D2HRsp2: return chanText(s.dev[1].d2hRsp);
+      case StateColumn::D2HData1: return chanText(s.dev[0].d2hData);
+      case StateColumn::D2HData2: return chanText(s.dev[1].d2hData);
+      case StateColumn::H2DReq1: return chanText(s.dev[0].h2dReq);
+      case StateColumn::H2DReq2: return chanText(s.dev[1].h2dReq);
+      case StateColumn::H2DRsp1: return chanText(s.dev[0].h2dRsp);
+      case StateColumn::H2DRsp2: return chanText(s.dev[1].h2dRsp);
+      case StateColumn::H2DData1: return chanText(s.dev[0].h2dData);
+      case StateColumn::H2DData2: return chanText(s.dev[1].h2dData);
+      case StateColumn::HCache:
+        return cacheText(s.hval, toString(s.hstate));
+      case StateColumn::Counter: return std::to_string(s.counter);
+    }
+    return "?";
+}
+
+std::string
+renderTraceTable(const std::vector<GuidedStep> &steps,
+                 const Scenario &scenario,
+                 const std::vector<StateColumn> &columns, bool markdown)
+{
+    return renderSteps(steps, scenario, columns, markdown);
+}
+
+std::string
+renderTraceTable(const std::vector<TraceStep> &steps,
+                 const Scenario &scenario,
+                 const std::vector<StateColumn> &columns, bool markdown)
+{
+    return renderSteps(steps, scenario, columns, markdown);
+}
+
+} // namespace cxl

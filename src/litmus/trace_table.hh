@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Renders a guided run as a transition table in the layout of the
+ * paper's Tables 1-3: one row per rule firing, one column per selected
+ * state component.
+ */
+
+#ifndef CXL_LITMUS_TRACE_TABLE_HH
+#define CXL_LITMUS_TRACE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+#include "protocol/scenario.hh"
+
+namespace cxl
+{
+
+/** Identifies one printable component of the system state. */
+enum class StateColumn {
+    DProg1, DProg2,
+    DCache1, DCache2,
+    D2HReq1, D2HReq2,
+    D2HRsp1, D2HRsp2,
+    D2HData1, D2HData2,
+    H2DReq1, H2DReq2,
+    H2DRsp1, H2DRsp2,
+    H2DData1, H2DData2,
+    HCache,
+    Counter,
+};
+
+/** Column header text as used in the paper ("DCache1", ...). */
+std::string columnName(StateColumn col);
+
+/** Format one component of @p state (programs need the scenario). */
+std::string formatColumn(const SystemState &state,
+                         const Scenario &scenario, StateColumn col);
+
+/**
+ * Render a guided run as a transition table.
+ *
+ * @param steps    the guided trace, including the initial state.
+ * @param scenario needed to print remaining program text.
+ * @param columns  which components to show, in order.
+ * @param markdown render GitHub-style.
+ */
+std::string renderTraceTable(const std::vector<GuidedStep> &steps,
+                             const Scenario &scenario,
+                             const std::vector<StateColumn> &columns,
+                             bool markdown = false);
+
+/** As above, but for explorer traces (e.g. violation witnesses). */
+std::string renderTraceTable(const std::vector<TraceStep> &steps,
+                             const Scenario &scenario,
+                             const std::vector<StateColumn> &columns,
+                             bool markdown = false);
+
+} // namespace cxl
+
+#endif // CXL_LITMUS_TRACE_TABLE_HH

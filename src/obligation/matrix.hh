@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The proof-obligation matrix engine (paper Fig. 1 and Section 7).
+ *
+ * Cell (i, j) of the matrix is the obligation "rule i preserves
+ * conjunct j": for every universe state s satisfying the invariant
+ * where rule i is enabled, firing it must yield s' satisfying
+ * conjunct j.  The engine discharges all cells, dispatching slices of
+ * the universe across a thread pool — the analogue of super_sketch
+ * fanning out concurrent sledgehammer instances — and reports every
+ * failing cell with a concrete witness, which is exactly the feedback
+ * the paper's iterative invariant-strengthening loop ran on.
+ */
+
+#ifndef CXL_OBLIGATION_MATRIX_HH
+#define CXL_OBLIGATION_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "invariants/invariant.hh"
+#include "protocol/rules.hh"
+#include "protocol/scenario.hh"
+
+namespace cxl
+{
+
+/** Matrix-run parameters. */
+struct MatrixOptions {
+    std::size_t threads = 0; ///< 0 = hardware concurrency
+};
+
+/** A failed obligation cell with its witness transition. */
+struct FailedCell {
+    std::string ruleName;
+    std::string conjunctName;
+    SystemState pre;  ///< invariant-satisfying state
+    SystemState post; ///< rule successor violating the conjunct
+};
+
+/** Aggregate matrix results. */
+struct MatrixResult {
+    std::size_t numRules = 0;
+    std::size_t numConjuncts = 0;
+    std::size_t universeSize = 0;
+
+    /** rules x conjuncts — the paper's 53,332-lemma analogue. */
+    std::size_t totalCells() const { return numRules * numConjuncts; }
+
+    /** enabled-state count per rule (coverage of each matrix row). */
+    std::vector<std::uint64_t> ruleEnabledCounts;
+
+    /** failure count per cell, row-major [rule][conjunct]. */
+    std::vector<std::uint64_t> cellFailures;
+
+    /** distinct failing cells, each with one witness. */
+    std::vector<FailedCell> failures;
+
+    std::uint64_t totalFirings = 0;
+    double seconds = 0.0;
+
+    std::uint64_t
+    failedCellCount() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t f : cellFailures)
+            n += f > 0 ? 1 : 0;
+        return n;
+    }
+
+    /** Rows (rules) that were never enabled in the universe. */
+    std::size_t
+    uncoveredRules() const
+    {
+        std::size_t n = 0;
+        for (std::uint64_t c : ruleEnabledCounts)
+            n += c == 0 ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Discharge the whole obligation matrix of @p invariant over
+ * @p universe.
+ *
+ * @param rules     the rule set (matrix rows).
+ * @param scenario  evaluation context (free-run for full generality).
+ * @param invariant the conjunct set (matrix columns); states in
+ *                  @p universe are assumed to satisfy it.
+ */
+MatrixResult
+checkObligationMatrix(const RuleSet &rules, const Scenario &scenario,
+                      const InvariantSet &invariant,
+                      const std::vector<SystemState> &universe,
+                      const MatrixOptions &options = {});
+
+} // namespace cxl
+
+#endif // CXL_OBLIGATION_MATRIX_HH

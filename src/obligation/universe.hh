@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Universe generation for inductiveness checking.
+ *
+ * The paper proves, for each of its 796 conjuncts and 68 rules, that
+ * `inv(s) ∧ rule(s, s') ⟹ conjunct(s')` — quantified over *all*
+ * states satisfying inv, not just reachable ones (Fig. 1).  Our
+ * executable counterpart needs a rich set of inv-satisfying states to
+ * fire rules from.  We build it from two sources:
+ *
+ *  1. every reachable state of the free-run model (all of which
+ *     satisfy the full invariant), and
+ *  2. random perturbations of those states (field flips, message
+ *     injections/removals), filtered by the invariant under test —
+ *     these probe the inv boundary *beyond* the reachable set, which
+ *     is where non-inductiveness hides (e.g. the paper's IMA/GO-M
+ *     counterexample showing bare SWMR is not inductive).
+ */
+
+#ifndef CXL_OBLIGATION_UNIVERSE_HH
+#define CXL_OBLIGATION_UNIVERSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "invariants/invariant.hh"
+#include "protocol/rules.hh"
+#include "protocol/scenario.hh"
+
+namespace cxl
+{
+
+/** Universe generation parameters. */
+struct UniverseOptions {
+    std::uint64_t seed = 42;
+
+    /** Cap on collected reachable seed states. */
+    std::size_t maxReachable = 200000;
+
+    /** Perturbed candidates generated per seed state. */
+    std::size_t perturbationsPerSeed = 4;
+
+    /** Overall cap on the returned universe. */
+    std::size_t maxStates = 500000;
+};
+
+/** Universe build statistics. */
+struct UniverseStats {
+    std::size_t reachableSeeds = 0;
+    std::size_t perturbedCandidates = 0;
+    std::size_t perturbedAccepted = 0;
+};
+
+/**
+ * Build a universe of states satisfying @p filter, rooted at the
+ * reachable states of (rules, scenario).
+ *
+ * @param[out] stats generation statistics (optional).
+ */
+std::vector<SystemState>
+buildUniverse(const RuleSet &rules, const Scenario &scenario,
+              const InvariantSet &filter, const UniverseOptions &options,
+              UniverseStats *stats = nullptr);
+
+/**
+ * The paper's Section 6 counterexample to the inductiveness of bare
+ * SWMR: device @p d is in IMA with its GO-M in flight while the other
+ * device still owns the line.  Satisfies SWMR; one rule firing
+ * violates it.
+ */
+SystemState swmrNonInductiveWitness(int d = 0);
+
+} // namespace cxl
+
+#endif // CXL_OBLIGATION_UNIVERSE_HH

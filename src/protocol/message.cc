@@ -1,0 +1,60 @@
+#include "protocol/message.hh"
+
+namespace cxl
+{
+
+std::string
+toString(const D2HReq &m)
+{
+    return "(" + toString(m.op) + ", " + std::to_string(m.tid) + ")";
+}
+
+std::string
+toString(const D2HRsp &m)
+{
+    return "(" + toString(m.op) + ", " + std::to_string(m.tid) + ")";
+}
+
+std::string
+toString(const H2DReq &m)
+{
+    return "(" + toString(m.op) + ", " + std::to_string(m.tid) + ")";
+}
+
+std::string
+toString(const H2DRsp &m)
+{
+    if (m.op == H2DRspOp::GO) {
+        return "(GO, " + toString(m.target) + ", " +
+               std::to_string(m.tid) + ")";
+    }
+    return "(" + toString(m.op) + ", " + std::to_string(m.tid) + ")";
+}
+
+std::string
+toString(const DataMsg &m)
+{
+    std::string txt = "(Data(" + std::to_string(m.val) + "), " +
+                      std::to_string(m.tid) + ")";
+    if (m.bogus)
+        txt += "!bogus";
+    return txt;
+}
+
+std::string
+toString(const DBuffer &b)
+{
+    switch (b.kind) {
+      case DBuffer::Kind::Empty:
+        return "_";
+      case DBuffer::Kind::Req:
+        return "(" + toString(b.reqOp) + ", " + std::to_string(b.tid) +
+               ")";
+      case DBuffer::Kind::Rsp:
+        return "(" + toString(b.rspOp) + ", " + std::to_string(b.tid) +
+               ")";
+    }
+    return "?";
+}
+
+} // namespace cxl

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Message records carried by the twelve channels of the model
+ * (paper Fig. 3).  Every struct is built solely from 8-bit fields so
+ * the containing system state has no padding bytes.
+ */
+
+#ifndef CXL_PROTOCOL_MESSAGE_HH
+#define CXL_PROTOCOL_MESSAGE_HH
+
+#include <string>
+
+#include "protocol/types.hh"
+
+namespace cxl
+{
+
+/** D2H Request: (RdShared | RdOwn | *Evict*, tid). */
+struct D2HReq {
+    D2HReqOp op = D2HReqOp::RdShared;
+    Tid tid = 0;
+
+    friend constexpr bool
+    operator==(const D2HReq &a, const D2HReq &b)
+    {
+        return a.op == b.op && a.tid == b.tid;
+    }
+};
+
+/** D2H Response: (Rsp*, tid). */
+struct D2HRsp {
+    D2HRspOp op = D2HRspOp::RspIHitSE;
+    Tid tid = 0;
+
+    friend constexpr bool
+    operator==(const D2HRsp &a, const D2HRsp &b)
+    {
+        return a.op == b.op && a.tid == b.tid;
+    }
+};
+
+/** H2D Request (snoop): (SnpData | SnpInv, tid). */
+struct H2DReq {
+    H2DReqOp op = H2DReqOp::SnpData;
+    Tid tid = 0;
+
+    friend constexpr bool
+    operator==(const H2DReq &a, const H2DReq &b)
+    {
+        return a.op == b.op && a.tid == b.tid;
+    }
+};
+
+/**
+ * H2D Response: (GO | GO_WritePull | GO_WritePullDrop, target DState,
+ * tid).  As in the paper, every H2D response carries the new device
+ * state the cacheline should enter.
+ */
+struct H2DRsp {
+    H2DRspOp op = H2DRspOp::GO;
+    DState target = DState::I;
+    Tid tid = 0;
+
+    friend constexpr bool
+    operator==(const H2DRsp &a, const H2DRsp &b)
+    {
+        return a.op == b.op && a.target == b.target && a.tid == b.tid;
+    }
+};
+
+/**
+ * Data message: (tid, value, bogus).  The Bogus flag models
+ * CXL 3.1 Section 3.2.5.4: data sent for an eviction that a snoop has
+ * already invalidated must be marked stale.
+ */
+struct DataMsg {
+    Tid tid = 0;
+    Val val = 0;
+    std::uint8_t bogus = 0;
+
+    friend constexpr bool
+    operator==(const DataMsg &a, const DataMsg &b)
+    {
+        return a.tid == b.tid && a.val == b.val && a.bogus == b.bogus;
+    }
+};
+
+/**
+ * The per-device buffer of paper Fig. 2/3: holds the single in-flight
+ * H2D message most recently taken off a channel (a snoop being
+ * processed, per Fig. 4's SharedSnpInv rule), or is empty.  Rules that
+ * complete a device-side transaction clear it.
+ */
+struct DBuffer {
+    enum class Kind : std::uint8_t { Empty, Req, Rsp };
+
+    Kind kind = Kind::Empty;
+    /// Valid iff kind == Req.
+    H2DReqOp reqOp = H2DReqOp::SnpData;
+    /// Valid iff kind == Rsp.
+    H2DRspOp rspOp = H2DRspOp::GO;
+    DState target = DState::I;
+    Tid tid = 0;
+
+    static constexpr DBuffer
+    empty()
+    {
+        return DBuffer{};
+    }
+
+    static constexpr DBuffer
+    fromReq(const H2DReq &req)
+    {
+        DBuffer b;
+        b.kind = Kind::Req;
+        b.reqOp = req.op;
+        b.tid = req.tid;
+        return b;
+    }
+
+    static constexpr DBuffer
+    fromRsp(const H2DRsp &rsp)
+    {
+        DBuffer b;
+        b.kind = Kind::Rsp;
+        b.rspOp = rsp.op;
+        b.target = rsp.target;
+        b.tid = rsp.tid;
+        return b;
+    }
+
+    constexpr bool isEmpty() const { return kind == Kind::Empty; }
+
+    /** True iff the buffer holds the given snoop kind. */
+    constexpr bool
+    holdsSnoop(H2DReqOp op) const
+    {
+        return kind == Kind::Req && reqOp == op;
+    }
+
+    friend constexpr bool
+    operator==(const DBuffer &a, const DBuffer &b)
+    {
+        return a.kind == b.kind && a.reqOp == b.reqOp &&
+               a.rspOp == b.rspOp && a.target == b.target &&
+               a.tid == b.tid;
+    }
+};
+
+std::string toString(const D2HReq &m);
+std::string toString(const D2HRsp &m);
+std::string toString(const H2DReq &m);
+std::string toString(const H2DRsp &m);
+std::string toString(const DataMsg &m);
+std::string toString(const DBuffer &b);
+
+} // namespace cxl
+
+#endif // CXL_PROTOCOL_MESSAGE_HH

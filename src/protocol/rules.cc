@@ -1,0 +1,122 @@
+#include "protocol/rules.hh"
+
+#include <algorithm>
+
+namespace cxl
+{
+
+bool
+sharerView(const SystemState &s, int j)
+{
+    const DeviceState &d = s.dev[j];
+    switch (d.state) {
+      case DState::S:
+      case DState::SMAD:
+      case DState::ISD:
+      case DState::ISA:
+        return true;
+      case DState::SIA:
+      case DState::SIAC:
+        // An evicting sharer counts only while its eviction request is
+        // still queued; once the host has processed it the directory
+        // has already discounted the device (the GO_WritePull[Drop] is
+        // in flight and the line is as good as gone).
+        return !d.d2hReq.empty();
+      case DState::ISAD:
+        // A grant is in flight: the host has already promised S.
+        return !d.h2dRsp.empty() || !d.h2dData.empty();
+      default:
+        return false;
+    }
+}
+
+bool
+ownerView(const SystemState &s, int j)
+{
+    const DeviceState &d = s.dev[j];
+    switch (d.state) {
+      case DState::M:
+      case DState::IMD:
+      case DState::IMA:
+      case DState::SMD:
+      case DState::SMA:
+        return true;
+      case DState::MIA:
+        // Same discounting as evicting sharers in sharerView().
+        return !d.d2hReq.empty();
+      case DState::IMAD:
+      case DState::SMAD:
+        // Ownership grant in flight.
+        return !d.h2dRsp.empty() || !d.h2dData.empty();
+      default:
+        return false;
+    }
+}
+
+bool
+goSendAllowed(const SystemState &s, int i)
+{
+    const DeviceState &d = s.dev[i];
+    return d.h2dReq.empty() && d.d2hRsp.empty() && d.d2hData.empty();
+}
+
+RuleSet::RuleSet(ProtocolConfig config) : config_(config)
+{
+    for (int d = 0; d < kNumDevices; ++d)
+        addDeviceRules(rules_, d, config_);
+    for (int d = 0; d < kNumDevices; ++d)
+        addHostRules(rules_, d, config_);
+    for (std::size_t i = 0; i < rules_.size(); ++i)
+        rules_[i].id = static_cast<std::uint16_t>(i);
+}
+
+std::size_t
+RuleSet::baseRuleCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(rules_.begin(), rules_.end(),
+                      [](const Rule &r) { return !r.mutated; }));
+}
+
+const Rule *
+RuleSet::find(const std::string &name) const
+{
+    for (const Rule &r : rules_) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<RuleSet::Successor>
+RuleSet::successors(const SystemState &state, const Scenario &scenario,
+                    bool canonicalise) const
+{
+    Context ctx{&scenario};
+    std::vector<Successor> result;
+    for (const Rule &rule : rules_) {
+        if (!rule.guard(state, ctx))
+            continue;
+        Successor succ{&rule, state, false};
+        succ.overflow = !rule.apply(succ.state, ctx);
+        if (canonicalise)
+            succ.state.canonicaliseTids();
+        result.push_back(std::move(succ));
+    }
+    return result;
+}
+
+bool
+RuleSet::fire(const std::string &name, SystemState &state,
+              const Scenario &scenario) const
+{
+    const Rule *rule = find(name);
+    if (!rule)
+        return false;
+    Context ctx{&scenario};
+    if (!rule->guard(state, ctx))
+        return false;
+    return rule->apply(state, ctx);
+}
+
+} // namespace cxl

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The transition rules of the CXL.cache model (paper Section 3.3).
+ *
+ * Each rule is a guarded command `(name, device, guard, action)`
+ * exactly in the style of paper Fig. 4: the guard is a predicate over
+ * the full system state; the action updates the state atomically.
+ *
+ * A RuleSet is built from a ProtocolConfig: spec-conformant toggles
+ * select optional flows (CleanEvictNoData, host clean-data pulls, the
+ * Section 4.4 stale-evict optimisation), and mutation flags add the
+ * deliberately-broken rules (e.g. Table 3's ISADSnpInv) or strip
+ * guards (Snoop-pushes-GO) for the restriction-relaxation experiments
+ * of Section 5.2.
+ */
+
+#ifndef CXL_PROTOCOL_RULES_HH
+#define CXL_PROTOCOL_RULES_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocol/config.hh"
+#include "protocol/scenario.hh"
+#include "protocol/state.hh"
+
+namespace cxl
+{
+
+/** Evaluation context handed to guards and actions. */
+struct Context {
+    const Scenario *scenario;
+};
+
+/**
+ * One transition rule.  `apply` returns false iff a channel push
+ * overflowed physical capacity — reachable only in mutated models and
+ * reported by the explorer as a structural violation.
+ */
+struct Rule {
+    std::uint16_t id = 0;
+    std::string name;
+    int dev = 0;          ///< primary device (0-based)
+    bool mutated = false; ///< rule exists only because of a mutation
+
+    std::function<bool(const SystemState &, const Context &)> guard;
+    std::function<bool(SystemState &, const Context &)> apply;
+};
+
+/**
+ * The complete rule set for one protocol configuration.
+ */
+class RuleSet
+{
+  public:
+    /** Successor state produced by firing one rule. */
+    struct Successor {
+        const Rule *rule;
+        SystemState state;
+        bool overflow;
+    };
+
+    explicit RuleSet(ProtocolConfig config);
+
+    const std::vector<Rule> &rules() const { return rules_; }
+    const ProtocolConfig &config() const { return config_; }
+
+    /** Number of rules excluding mutation-only rules. */
+    std::size_t baseRuleCount() const;
+
+    /** Find a rule by exact name; nullptr when absent. */
+    const Rule *find(const std::string &name) const;
+
+    /**
+     * Enumerate all successors of @p state.
+     *
+     * @param canonicalise relabel tids in each successor (used by the
+     *        explorer to keep free-run state spaces finite).
+     */
+    std::vector<Successor>
+    successors(const SystemState &state, const Scenario &scenario,
+               bool canonicalise = false) const;
+
+    /**
+     * Fire the named rule on @p state if enabled.
+     *
+     * @retval true if the rule was enabled and applied.
+     */
+    bool fire(const std::string &name, SystemState &state,
+              const Scenario &scenario) const;
+
+  private:
+    ProtocolConfig config_;
+    std::vector<Rule> rules_;
+};
+
+/// Internal: populate device-side rules for device @p d (0-based).
+void addDeviceRules(std::vector<Rule> &rules, int d,
+                    const ProtocolConfig &config);
+
+/// Internal: populate host-side rules serving device @p d (0-based).
+void addHostRules(std::vector<Rule> &rules, int d,
+                  const ProtocolConfig &config);
+
+// --- Tracking-view helpers (paper Section 8, "perfect tracking") ----
+
+/**
+ * The host's perfect-tracking view of whether device @p j holds, or is
+ * in the middle of being granted, a shared copy.
+ */
+bool sharerView(const SystemState &s, int j);
+
+/**
+ * The host's perfect-tracking view of whether device @p j owns, or is
+ * being granted ownership of, the line.
+ */
+bool ownerView(const SystemState &s, int j);
+
+/**
+ * GO-cannot-tailgate-snoop (CXL 3.1 Section 3.2.5.2): the host may
+ * send a GO-class message to device @p i only when the H2D Request,
+ * D2H Response and D2H Data channels of @p i are all empty.
+ */
+bool goSendAllowed(const SystemState &s, int i);
+
+} // namespace cxl
+
+#endif // CXL_PROTOCOL_RULES_HH

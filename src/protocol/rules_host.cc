@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Host-side transition rules.
+ *
+ * The host is home agent and perfect-tracking directory (paper
+ * Section 8): HCache.State mirrors the collective device-side state
+ * (I = nobody holds the line, S = sharers exist, M = a device owns
+ * it), and transient host states gate the emission of GO messages,
+ * which is how the GO-cannot-tailgate-snoop restriction of CXL 3.1
+ * Section 3.2.5.2 is realised.
+ *
+ * Rules are named by the *requesting / evicting* device: e.g.
+ * HostMA_RspIHitSE1 consumes device 2's snoop response and grants
+ * device 1 (matching the paper's MARspIHitI1 in Table 3).
+ */
+
+#include <cassert>
+
+#include "protocol/rules.hh"
+
+namespace cxl
+{
+namespace
+{
+
+bool
+headReqIs(const DeviceState &d, D2HReqOp op)
+{
+    return !d.d2hReq.empty() && d.d2hReq.front().op == op;
+}
+
+bool
+headRspIs(const DeviceState &d, D2HRspOp op)
+{
+    return !d.d2hRsp.empty() && d.d2hRsp.front().op == op;
+}
+
+bool
+headDataClean(const DeviceState &d)
+{
+    return !d.d2hData.empty() && !d.d2hData.front().bogus;
+}
+
+struct HostRuleBuilder {
+    std::vector<Rule> &rules;
+    int i; ///< requester / evicter device (0-based)
+
+    void
+    add(const std::string &base, bool mutated,
+        std::function<bool(const SystemState &, const Context &)> guard,
+        std::function<bool(SystemState &, const Context &)> apply)
+    {
+        Rule r;
+        r.name = base + std::to_string(i + 1);
+        r.dev = i;
+        r.mutated = mutated;
+        r.guard = std::move(guard);
+        r.apply = std::move(apply);
+        rules.push_back(std::move(r));
+    }
+};
+
+/** Push a (GO, target, tid) grant plus its data message to device i. */
+bool
+pushGrant(SystemState &s, int i, DState target, Tid tid, Val v)
+{
+    bool ok = s.dev[i].h2dRsp.pushBack({H2DRspOp::GO, target, tid});
+    return s.dev[i].h2dData.pushBack({tid, v, 0}) && ok;
+}
+
+/** Room for one more response and one more data message to device i. */
+bool
+grantRoom(const SystemState &s, int i)
+{
+    return !s.dev[i].h2dRsp.full() && !s.dev[i].h2dData.full();
+}
+
+/** Read-request processing (RdShared / RdOwn). */
+void
+addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
+{
+    const int i = b.i;
+    const int o = SystemState::other(i);
+    const bool relax_tailgate = config.relaxGoTailgate;
+
+    auto go_ok = [relax_tailgate](const SystemState &s, int dev) {
+        return relax_tailgate || goSendAllowed(s, dev);
+    };
+
+    // Nobody holds the line: grant S directly from memory.
+    b.add("HostInvalidRdShared", false,
+        [i, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::I &&
+                   headReqIs(s.dev[i], D2HReqOp::RdShared) &&
+                   go_ok(s, i) && grantRoom(s, i);
+        },
+        [i](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::S;
+            return pushGrant(s, i, DState::S, t, s.hval);
+        });
+
+    // Sharers already exist: grant another S copy.
+    b.add("HostSharedRdShared", false,
+        [i, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::S &&
+                   headReqIs(s.dev[i], D2HReqOp::RdShared) &&
+                   go_ok(s, i) && grantRoom(s, i);
+        },
+        [i](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            return pushGrant(s, i, DState::S, t, s.hval);
+        });
+
+    // The other device owns the line: snoop it down to S first.
+    b.add("HostModifiedRdShared", false,
+        [i, o](const SystemState &s, const Context &) {
+            return s.hstate == HState::M &&
+                   headReqIs(s.dev[i], D2HReqOp::RdShared) &&
+                   ownerView(s, o) && !s.dev[o].h2dReq.full();
+        },
+        [i, o](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::SAD;
+            return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpData, t});
+        });
+
+    b.add("HostSAD_RspSFwdM", false,
+        [o](const SystemState &s, const Context &) {
+            return s.hstate == HState::SAD &&
+                   headRspIs(s.dev[o], D2HRspOp::RspSFwdM);
+        },
+        [o](SystemState &s, const Context &) {
+            s.dev[o].d2hRsp.popFront();
+            s.hstate = HState::SD;
+            return true;
+        });
+
+    // Forwarded dirty data arrives; memory is updated and the original
+    // requester is granted S.
+    b.add("HostSD_Data", false,
+        [i, o, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::SD && headDataClean(s.dev[o]) &&
+                   go_ok(s, i) && grantRoom(s, i);
+        },
+        [i, o](SystemState &s, const Context &) {
+            DataMsg data = s.dev[o].d2hData.front();
+            s.dev[o].d2hData.popFront();
+            s.hval = data.val;
+            s.hstate = HState::S;
+            return pushGrant(s, i, DState::S, data.tid, data.val);
+        });
+
+    // Nobody holds the line: grant ownership directly.
+    b.add("HostInvalidRdOwn", false,
+        [i, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::I &&
+                   headReqIs(s.dev[i], D2HReqOp::RdOwn) && go_ok(s, i) &&
+                   grantRoom(s, i);
+        },
+        [i](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::M;
+            return pushGrant(s, i, DState::M, t, s.hval);
+        });
+
+    // The requester is the sole sharer (an SMAD upgrade): no snoop
+    // needed — the two-device shortcut discussed in paper Section 8.
+    b.add("HostSharedRdOwnUpgrade", false,
+        [i, o, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::S &&
+                   headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                   !sharerView(s, o) && go_ok(s, i) && grantRoom(s, i);
+        },
+        [i](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::M;
+            return pushGrant(s, i, DState::M, t, s.hval);
+        });
+
+    // A clean sharer must be invalidated first.  Data can be sent to
+    // the requester immediately (Table 3's SharedRdOwn1 step); the GO
+    // follows once the snoop response arrives.
+    b.add("HostSharedRdOwnSnp", false,
+        [i, o](const SystemState &s, const Context &) {
+            return s.hstate == HState::S &&
+                   headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                   sharerView(s, o) && !s.dev[o].h2dReq.full() &&
+                   !s.dev[i].h2dData.full();
+        },
+        [i, o](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::MA;
+            bool ok = s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+            return s.dev[i].h2dData.pushBack({t, s.hval, 0}) && ok;
+        });
+
+    // Clean-sharer invalidation acknowledged: complete the grant
+    // (Table 3's MARspIHitI1, with the honest RspIHitSE).  The grant
+    // additionally waits until stale grant data to the snooped device
+    // has drained (its ISDI read-once), so that ownership is never
+    // granted while shareable data is still in flight to the other
+    // device — the paper's first Section 6 sample conjunct.
+    auto add_ma_ack = [&](const char *base, D2HRspOp rsp, bool mutated) {
+        b.add(base, mutated,
+            [i, o, rsp, go_ok](const SystemState &s, const Context &) {
+                return s.hstate == HState::MA &&
+                       headRspIs(s.dev[o], rsp) && go_ok(s, i) &&
+                       s.dev[o].h2dData.empty() &&
+                       !s.dev[i].h2dRsp.full();
+            },
+            [i, o](SystemState &s, const Context &) {
+                Tid t = s.dev[o].d2hRsp.front().tid;
+                s.dev[o].d2hRsp.popFront();
+                s.hstate = HState::M;
+                return s.dev[i].h2dRsp.pushBack(
+                    {H2DRspOp::GO, DState::M, t});
+            });
+    };
+    add_ma_ack("HostMA_RspIHitSE", D2HRspOp::RspIHitSE, false);
+    // Only reachable when a mutated device lies with RspIHitI.
+    add_ma_ack("HostMA_RspIHitI", D2HRspOp::RspIHitI, false);
+
+    // The other device owns the line dirty: invalidate and collect.
+    b.add("HostModifiedRdOwn", false,
+        [i, o](const SystemState &s, const Context &) {
+            return s.hstate == HState::M &&
+                   headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                   ownerView(s, o) && !s.dev[o].h2dReq.full();
+        },
+        [i, o](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::MAD;
+            return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+        });
+
+    b.add("HostMAD_RspIFwdM", false,
+        [o](const SystemState &s, const Context &) {
+            return s.hstate == HState::MAD &&
+                   headRspIs(s.dev[o], D2HRspOp::RspIFwdM);
+        },
+        [o](SystemState &s, const Context &) {
+            s.dev[o].d2hRsp.popFront();
+            s.hstate = HState::MD;
+            return true;
+        });
+
+    b.add("HostMD_Data", false,
+        [i, o, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::MD && headDataClean(s.dev[o]) &&
+                   go_ok(s, i) && grantRoom(s, i);
+        },
+        [i, o](SystemState &s, const Context &) {
+            DataMsg data = s.dev[o].d2hData.front();
+            s.dev[o].d2hData.popFront();
+            s.hval = data.val;
+            s.hstate = HState::M;
+            return pushGrant(s, i, DState::M, data.tid, data.val);
+        });
+}
+
+/** Eviction processing. */
+void
+addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
+{
+    const int i = b.i;
+    const int o = SystemState::other(i);
+    const bool relax_tailgate = config.relaxGoTailgate;
+    const bool stale_drop = config.staleEvictDrop;
+
+    auto go_ok = [relax_tailgate](const SystemState &s, int dev) {
+        return relax_tailgate || goSendAllowed(s, dev);
+    };
+
+    auto push_go = [](SystemState &s, int dev, H2DRspOp op, Tid t) {
+        return s.dev[dev].h2dRsp.pushBack({op, DState::I, t});
+    };
+
+    // Paper Fig. 4's HostModifiedDirtyEvict1: pull the dirty line.
+    b.add("HostModifiedDirtyEvict", false,
+        [i, go_ok](const SystemState &s, const Context &) {
+            return s.hstate == HState::M &&
+                   headReqIs(s.dev[i], D2HReqOp::DirtyEvict) &&
+                   s.dev[i].state == DState::MIA && go_ok(s, i) &&
+                   !s.dev[i].h2dRsp.full();
+        },
+        [i, push_go](SystemState &s, const Context &) {
+            Tid t = s.dev[i].d2hReq.front().tid;
+            s.dev[i].d2hReq.popFront();
+            s.hstate = HState::ID;
+            s.dev[i].buffer = DBuffer::empty();
+            return push_go(s, i, H2DRspOp::GO_WritePull, t);
+        });
+
+    // Writeback data lands: memory updated, line dead (Table 2's
+    // IDData1 step).
+    b.add("HostID_Data", false,
+        [i](const SystemState &s, const Context &) {
+            return s.hstate == HState::ID && headDataClean(s.dev[i]);
+        },
+        [i](SystemState &s, const Context &) {
+            s.hval = s.dev[i].d2hData.front().val;
+            s.dev[i].d2hData.popFront();
+            s.hstate = HState::I;
+            return true;
+        });
+
+    // Clean-evict data pull completes; host remains a sharer.
+    b.add("HostSB_Data", false,
+        [i](const SystemState &s, const Context &) {
+            return s.hstate == HState::SB && headDataClean(s.dev[i]);
+        },
+        [i](SystemState &s, const Context &) {
+            s.hval = s.dev[i].d2hData.front().val;
+            s.dev[i].d2hData.popFront();
+            s.hstate = HState::S;
+            return true;
+        });
+
+    /**
+     * Clean evictions (CleanEvict from SIA, CleanEvictNoData from
+     * SIAC, and a DirtyEvict whose line a SnpData has already cleaned
+     * to SIA).  "Last" means no other sharer remains, in which case
+     * the directory drops to I (Table 1's NotLastDrop naming).
+     */
+    struct CleanFlavor {
+        const char *base;
+        D2HReqOp req;
+        DState devState;
+        bool allowPull;
+    };
+    const CleanFlavor flavors[] = {
+        {"HostSharedCleanEvict", D2HReqOp::CleanEvict, DState::SIA,
+         config.hostCleanPull},
+        {"HostSharedCleanEvictNoData", D2HReqOp::CleanEvictNoData,
+         DState::SIAC, false},
+        {"HostDirtyEvictCleaned", D2HReqOp::DirtyEvict, DState::SIA,
+         !stale_drop},
+    };
+
+    for (const CleanFlavor &f : flavors) {
+        const D2HReqOp req = f.req;
+        const DState dev_state = f.devState;
+
+        auto guard_common = [i, req, dev_state,
+                             go_ok](const SystemState &s) {
+            return s.hstate == HState::S && headReqIs(s.dev[i], req) &&
+                   s.dev[i].state == dev_state && go_ok(s, i) &&
+                   !s.dev[i].h2dRsp.full();
+        };
+
+        b.add(std::string(f.base) + "NotLastDrop", false,
+            [o, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && sharerView(s, o);
+            },
+            [i, push_go](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.dev[i].buffer = DBuffer::empty();
+                return push_go(s, i, H2DRspOp::GO_WritePullDrop, t);
+            });
+
+        b.add(std::string(f.base) + "LastDrop", false,
+            [o, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && !sharerView(s, o);
+            },
+            [i, push_go](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.dev[i].buffer = DBuffer::empty();
+                s.hstate = HState::I;
+                return push_go(s, i, H2DRspOp::GO_WritePullDrop, t);
+            });
+
+        if (!f.allowPull)
+            continue;
+
+        b.add(std::string(f.base) + "NotLastPull", false,
+            [o, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && sharerView(s, o);
+            },
+            [i, push_go](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.dev[i].buffer = DBuffer::empty();
+                s.hstate = HState::SB;
+                return push_go(s, i, H2DRspOp::GO_WritePull, t);
+            });
+
+        b.add(std::string(f.base) + "LastPull", false,
+            [o, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && !sharerView(s, o);
+            },
+            [i, push_go](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.dev[i].buffer = DBuffer::empty();
+                s.hstate = HState::ID;
+                return push_go(s, i, H2DRspOp::GO_WritePull, t);
+            });
+    }
+
+    /**
+     * Stale evictions: a snoop already invalidated the evicting line
+     * (device sits in IIA).  Standard behaviour pulls and receives
+     * Bogus data; the paper's Section 4.4 proposal drops instead.
+     */
+    auto add_stale = [&](const char *base, D2HReqOp req) {
+        // CleanEvictNoData promised no data: always drop.
+        const bool drop_legal =
+            stale_drop || req == D2HReqOp::CleanEvictNoData;
+        const bool pull_legal =
+            !stale_drop && req != D2HReqOp::CleanEvictNoData;
+
+        if (drop_legal) {
+            b.add(std::string(base) + "Drop", false,
+                [i, req, go_ok](const SystemState &s, const Context &) {
+                    return headReqIs(s.dev[i], req) &&
+                           s.dev[i].state == DState::IIA && go_ok(s, i) &&
+                           !s.dev[i].h2dRsp.full();
+                },
+                [i, push_go](SystemState &s, const Context &) {
+                    Tid t = s.dev[i].d2hReq.front().tid;
+                    s.dev[i].d2hReq.popFront();
+                    s.dev[i].buffer = DBuffer::empty();
+                    return push_go(s, i, H2DRspOp::GO_WritePullDrop, t);
+                });
+        }
+
+        if (pull_legal) {
+            b.add(std::string(base) + "Pull", false,
+                [i, req, go_ok](const SystemState &s, const Context &) {
+                    return headReqIs(s.dev[i], req) &&
+                           s.dev[i].state == DState::IIA && go_ok(s, i) &&
+                           !s.dev[i].h2dRsp.full();
+                },
+                [i, push_go](SystemState &s, const Context &) {
+                    Tid t = s.dev[i].d2hReq.front().tid;
+                    s.dev[i].d2hReq.popFront();
+                    s.dev[i].buffer = DBuffer::empty();
+                    return push_go(s, i, H2DRspOp::GO_WritePull, t);
+                });
+        }
+    };
+    add_stale("HostStaleCleanEvict", D2HReqOp::CleanEvict);
+    add_stale("HostStaleCleanEvictNoData", D2HReqOp::CleanEvictNoData);
+    add_stale("HostStaleDirtyEvict", D2HReqOp::DirtyEvict);
+
+    // Bogus-flagged eviction data is discarded (CXL 3.1 S3.2.5.4).
+    b.add("HostBogusData", false,
+        [i](const SystemState &s, const Context &) {
+            return !s.dev[i].d2hData.empty() &&
+                   s.dev[i].d2hData.front().bogus;
+        },
+        [i](SystemState &s, const Context &) {
+            s.dev[i].d2hData.popFront();
+            return true;
+        });
+}
+
+/** Mutation-only host rules (Section 5.2 relaxations). */
+void
+addMutatedHostRules(HostRuleBuilder &b, const ProtocolConfig &config)
+{
+    const int i = b.i;
+    const int o = SystemState::other(i);
+
+    if (config.relaxGoTailgate) {
+        // The GO tailgates the snoop it depends on: sent in the same
+        // step, before any response is collected.
+        b.add("HostEagerGoRdOwn", true,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::S &&
+                       headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                       sharerView(s, o) && !s.dev[o].h2dReq.full() &&
+                       grantRoom(s, i);
+            },
+            [i, o](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.hstate = HState::M;
+                bool ok = s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+                return pushGrant(s, i, DState::M, t, s.hval) && ok;
+            });
+    }
+
+    if (config.relaxOneSnoop) {
+        // A second snoop is dispatched before the response to the
+        // first is collected (violates CXL 3.1 Section 3.2.5.5).
+        b.add("HostSecondSnoop", true,
+            [o](const SystemState &s, const Context &) {
+                return (s.hstate == HState::MA ||
+                        s.hstate == HState::MAD) &&
+                       s.dev[o].h2dReq.size() == 1 && s.counter < 250;
+            },
+            [o](SystemState &s, const Context &) {
+                Tid t = s.counter;
+                s.counter = static_cast<std::uint8_t>(s.counter + 1);
+                return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+            });
+    }
+}
+
+} // namespace
+
+void
+addHostRules(std::vector<Rule> &rules, int d, const ProtocolConfig &config)
+{
+    assert(d >= 0 && d < kNumDevices);
+    HostRuleBuilder b{rules, d};
+    addReadRequestRules(b, config);
+    addEvictionRules(b, config);
+    addMutatedHostRules(b, config);
+}
+
+} // namespace cxl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scenarios: the device programs (DProg1/DProg2 of paper Fig. 3) plus
+ * the initial state they start from.
+ *
+ * Programs are the paper's invention for steering scenario
+ * verification: they only trigger coherence transactions.  A scenario
+ * can instead run in *free mode*, where each device may
+ * nondeterministically issue any instruction at any time — that is the
+ * configuration under which the checker enumerates the full reachable
+ * state space for the SWMR theorem.
+ */
+
+#ifndef CXL_PROTOCOL_SCENARIO_HH
+#define CXL_PROTOCOL_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol/state.hh"
+#include "protocol/types.hh"
+
+namespace cxl
+{
+
+/** A scenario = initial state + one instruction list per device. */
+struct Scenario {
+    std::string name = "unnamed";
+    SystemState initial;
+    std::vector<Instr> program[kNumDevices];
+
+    /**
+     * Free-run mode: ignore the programs; any device whose cacheline
+     * state admits an instruction may issue it at any time.  Makes the
+     * transition system input-free, so reachability covers *all*
+     * protocol behaviours.
+     */
+    bool freeRun = false;
+
+    /**
+     * The instruction device @p dev would execute at program counter
+     * @p pc, or Instr::None when the program is exhausted.  Free-run
+     * scenarios return None here; free-run rules use mayIssue().
+     */
+    Instr
+    fetch(int dev, std::uint8_t pc) const
+    {
+        if (freeRun)
+            return Instr::None;
+        const auto &prog = program[dev];
+        if (pc >= prog.size())
+            return Instr::None;
+        return prog[pc];
+    }
+
+    /** True if device @p dev may issue @p instr at pc @p pc. */
+    bool
+    mayIssue(int dev, std::uint8_t pc, Instr instr) const
+    {
+        if (freeRun)
+            return true;
+        return fetch(dev, pc) == instr;
+    }
+
+    /**
+     * Whether consuming an instruction advances the pc (program mode)
+     * or leaves it untouched (free-run keeps pc at zero so the state
+     * space stays finite).
+     */
+    std::uint8_t
+    nextPc(int dev, std::uint8_t pc) const
+    {
+        (void)dev;
+        return freeRun ? pc : static_cast<std::uint8_t>(pc + 1);
+    }
+
+    /** True when both device programs have fully retired. */
+    bool
+    finished(const SystemState &s) const
+    {
+        if (freeRun)
+            return false;
+        for (int d = 0; d < kNumDevices; ++d) {
+            if (s.dev[d].pc < program[d].size())
+                return false;
+        }
+        return true;
+    }
+
+    /** Canonical free-run scenario from the all-invalid initial state. */
+    static Scenario
+    freeRunScenario()
+    {
+        Scenario sc;
+        sc.name = "free_run";
+        sc.initial = initialAllInvalid();
+        sc.freeRun = true;
+        return sc;
+    }
+};
+
+} // namespace cxl
+
+#endif // CXL_PROTOCOL_SCENARIO_HH

@@ -1,0 +1,208 @@
+#include "protocol/state.hh"
+
+#include <array>
+#include <sstream>
+
+#include "support/hash.hh"
+
+namespace cxl
+{
+namespace
+{
+
+/**
+ * Tid-relabelling helper: maps each distinct tid to a dense id in
+ * first-appearance order.
+ */
+class TidRenamer
+{
+  public:
+    TidRenamer() { map_.fill(kUnmapped); }
+
+    Tid
+    rename(Tid tid)
+    {
+        if (map_[tid] == kUnmapped)
+            map_[tid] = next_++;
+        return map_[tid];
+    }
+
+    Tid liveCount() const { return next_; }
+
+  private:
+    static constexpr Tid kUnmapped = 0xff;
+    std::array<Tid, 256> map_;
+    Tid next_ = 0;
+};
+
+template <typename T, std::size_t N>
+void
+renameChannel(InlineVec<T, N> &chan, TidRenamer &renamer)
+{
+    for (std::size_t i = 0; i < chan.size(); ++i)
+        chan[i].tid = renamer.rename(chan[i].tid);
+}
+
+template <typename T, std::size_t N>
+std::string
+channelText(const InlineVec<T, N> &chan)
+{
+    std::string txt = "[";
+    for (std::size_t i = 0; i < chan.size(); ++i) {
+        if (i)
+            txt += ", ";
+        txt += toString(chan[i]);
+    }
+    return txt + "]";
+}
+
+} // namespace
+
+std::uint64_t
+SystemState::hash() const
+{
+    return hashBytes(this, sizeof(SystemState));
+}
+
+void
+SystemState::canonicaliseTids()
+{
+    TidRenamer renamer;
+    for (auto &d : dev) {
+        renameChannel(d.d2hReq, renamer);
+        renameChannel(d.d2hRsp, renamer);
+        renameChannel(d.d2hData, renamer);
+        renameChannel(d.h2dReq, renamer);
+        renameChannel(d.h2dRsp, renamer);
+        renameChannel(d.h2dData, renamer);
+        if (!d.buffer.isEmpty())
+            d.buffer.tid = renamer.rename(d.buffer.tid);
+    }
+    counter = renamer.liveCount();
+}
+
+namespace
+{
+
+/** Exchange the two device-deterministic store values. */
+constexpr Val
+swapVal(Val v)
+{
+    if (v == 1)
+        return 2;
+    if (v == 2)
+        return 1;
+    return v;
+}
+
+void
+swapDeviceVals(DeviceState &d)
+{
+    d.val = swapVal(d.val);
+    for (std::size_t i = 0; i < d.d2hData.size(); ++i)
+        d.d2hData[i].val = swapVal(d.d2hData[i].val);
+    for (std::size_t i = 0; i < d.h2dData.size(); ++i)
+        d.h2dData[i].val = swapVal(d.h2dData[i].val);
+}
+
+} // namespace
+
+SystemState
+SystemState::swappedDevices() const
+{
+    SystemState t = *this;
+    std::swap(t.dev[0], t.dev[1]);
+    swapDeviceVals(t.dev[0]);
+    swapDeviceVals(t.dev[1]);
+    t.hval = swapVal(t.hval);
+    return t;
+}
+
+bool
+SystemState::bytewiseLess(const SystemState &other) const
+{
+    return std::memcmp(this, &other, sizeof(SystemState)) < 0;
+}
+
+std::string
+SystemState::brief() const
+{
+    std::ostringstream out;
+    out << "D1=(" << int(dev[0].val) << "," << toString(dev[0].state)
+        << ") H=(" << int(hval) << "," << toString(hstate) << ") D2=("
+        << int(dev[1].val) << "," << toString(dev[1].state)
+        << ") ctr=" << int(counter);
+    return out.str();
+}
+
+std::string
+SystemState::dump() const
+{
+    std::ostringstream out;
+    out << "HCache   = (" << int(hval) << ", " << toString(hstate)
+        << "), Counter = " << int(counter) << "\n";
+    for (int d = 0; d < kNumDevices; ++d) {
+        const DeviceState &ds = dev[d];
+        out << "Device " << (d + 1) << ": DCache = (" << int(ds.val)
+            << ", " << toString(ds.state) << "), pc = " << int(ds.pc)
+            << ", DBuffer = " << toString(ds.buffer) << "\n"
+            << "  D2HReq  = " << channelText(ds.d2hReq) << "\n"
+            << "  D2HRsp  = " << channelText(ds.d2hRsp) << "\n"
+            << "  D2HData = " << channelText(ds.d2hData) << "\n"
+            << "  H2DReq  = " << channelText(ds.h2dReq) << "\n"
+            << "  H2DRsp  = " << channelText(ds.h2dRsp) << "\n"
+            << "  H2DData = " << channelText(ds.h2dData) << "\n";
+    }
+    return out.str();
+}
+
+SystemState
+initialAllInvalid(Val memory_val)
+{
+    SystemState s;
+    s.hval = memory_val;
+    return s;
+}
+
+SystemState
+initialBothShared(Val v)
+{
+    SystemState s;
+    s.hval = v;
+    s.hstate = HState::S;
+    for (auto &d : s.dev) {
+        d.val = v;
+        d.state = DState::S;
+    }
+    return s;
+}
+
+SystemState
+initialOneModified(int owner, Val owner_val, Val memory_val)
+{
+    SystemState s;
+    s.hval = memory_val;
+    s.hstate = HState::M;
+    s.dev[owner].val = owner_val;
+    s.dev[owner].state = DState::M;
+    return s;
+}
+
+bool
+structurallyWellFormed(const SystemState &s)
+{
+    if (static_cast<int>(s.hstate) >= kNumHStates)
+        return false;
+    for (const auto &d : s.dev) {
+        if (static_cast<int>(d.state) >= kNumDStates)
+            return false;
+        if (d.d2hReq.size() > kChanCap || d.d2hRsp.size() > kChanCap ||
+            d.d2hData.size() > kChanCap || d.h2dReq.size() > kChanCap ||
+            d.h2dRsp.size() > kChanCap || d.h2dData.size() > kChanCap) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cxl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The whole-system state of the CXL.cache model (paper Fig. 2/3):
+ * two devices (cacheline + six channels + buffer + program counter),
+ * the host cacheline/directory, and the transaction counter.
+ *
+ * The record is built exclusively from byte-sized fields, so it is
+ * padding-free, trivially copyable and can be hashed/compared bytewise
+ * by the model checker.
+ */
+
+#ifndef CXL_PROTOCOL_STATE_HH
+#define CXL_PROTOCOL_STATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "protocol/message.hh"
+#include "protocol/types.hh"
+#include "support/inline_vec.hh"
+
+namespace cxl
+{
+
+/**
+ * Channel capacity.  Reachable states keep every channel at length
+ * <= 1 (the paper's "channels are singleton lists" invariant); the
+ * extra slots guarantee mutated models overflow an invariant before
+ * they would overflow storage.
+ */
+constexpr std::size_t kChanCap = 3;
+
+/** Per-device portion of the system state. */
+struct DeviceState {
+    Val val = 0;                ///< cacheline value
+    DState state = DState::I;   ///< cacheline state
+
+    InlineVec<D2HReq, kChanCap> d2hReq;   ///< device -> host requests
+    InlineVec<D2HRsp, kChanCap> d2hRsp;   ///< device -> host responses
+    InlineVec<DataMsg, kChanCap> d2hData; ///< device -> host data
+    InlineVec<H2DReq, kChanCap> h2dReq;   ///< host -> device snoops
+    InlineVec<H2DRsp, kChanCap> h2dRsp;   ///< host -> device responses
+    InlineVec<DataMsg, kChanCap> h2dData; ///< host -> device data
+
+    DBuffer buffer;             ///< in-flight H2D message (Fig. 2)
+    std::uint8_t pc = 0;        ///< next instruction in the program
+
+    friend bool
+    operator==(const DeviceState &a, const DeviceState &b)
+    {
+        return a.val == b.val && a.state == b.state &&
+               a.d2hReq == b.d2hReq && a.d2hRsp == b.d2hRsp &&
+               a.d2hData == b.d2hData && a.h2dReq == b.h2dReq &&
+               a.h2dRsp == b.h2dRsp && a.h2dData == b.h2dData &&
+               a.buffer == b.buffer && a.pc == b.pc;
+    }
+};
+
+/** Number of devices. Fixed to two, as in the paper (Section 3.1). */
+constexpr int kNumDevices = 2;
+
+/** Complete system state. */
+struct SystemState {
+    DeviceState dev[kNumDevices];
+    Val hval = 0;               ///< host/memory value of the location
+    HState hstate = HState::I;  ///< host directory state
+    std::uint8_t counter = 0;   ///< transaction-identifier counter
+
+    /** The other device's index. */
+    static constexpr int
+    other(int d)
+    {
+        return 1 - d;
+    }
+
+    friend bool
+    operator==(const SystemState &a, const SystemState &b)
+    {
+        return a.dev[0] == b.dev[0] && a.dev[1] == b.dev[1] &&
+               a.hval == b.hval && a.hstate == b.hstate &&
+               a.counter == b.counter;
+    }
+
+    /** 64-bit fingerprint of the canonical byte encoding. */
+    std::uint64_t hash() const;
+
+    /**
+     * Relabel transaction identifiers in first-appearance order and
+     * set the counter to the number of live tids.  Sound for all
+     * properties we check (tids are only ever compared for equality);
+     * makes the free-run state space finite (Section 3 of DESIGN.md).
+     */
+    void canonicaliseTids();
+
+    /**
+     * The device-permuted image of this state: devices 1 and 2
+     * exchanged, and the device-deterministic store values relabelled
+     * with them (stores write device_id + 1, so values 1 and 2 swap).
+     * This is an automorphism of the free-run transition system; the
+     * explorer's symmetry reduction identifies each state with the
+     * lexicographically smaller of {s, s.swappedDevices()}.
+     */
+    SystemState swappedDevices() const;
+
+    /** Bytewise lexicographic order (total; used by symmetry reduction). */
+    bool bytewiseLess(const SystemState &other) const;
+
+    /** One-line summary used in traces and error messages. */
+    std::string brief() const;
+
+    /** Multi-line dump of every component. */
+    std::string dump() const;
+};
+
+static_assert(sizeof(SystemState) ==
+                  2 * (2 +            // val + state
+                       (2 * 3 + 1) +  // d2hReq
+                       (2 * 3 + 1) +  // d2hRsp
+                       (3 * 3 + 1) +  // d2hData
+                       (2 * 3 + 1) +  // h2dReq
+                       (3 * 3 + 1) +  // h2dRsp
+                       (3 * 3 + 1) +  // h2dData
+                       5 +            // buffer
+                       1) +           // pc
+                  3,
+              "SystemState must stay padding-free for bytewise hashing");
+
+/**
+ * Builders for the initial states used by litmus tests and the
+ * explorer.  All caches invalid, channels empty, counter zero.
+ */
+SystemState initialAllInvalid(Val memory_val = 0);
+
+/**
+ * Both devices and the host share the line with value @p v
+ * (the Table 1 starting point).
+ */
+SystemState initialBothShared(Val v = 0);
+
+/**
+ * Device @p owner holds the line modified with value @p v; the host
+ * directory records M (the Table 2 starting point).
+ */
+SystemState initialOneModified(int owner, Val owner_val,
+                               Val memory_val);
+
+/**
+ * Structural sanity: channel sizes within capacity, enum fields in
+ * range.  This is *well-formedness*, not protocol correctness; the
+ * invariant library handles the latter.
+ */
+bool structurallyWellFormed(const SystemState &s);
+
+} // namespace cxl
+
+#endif // CXL_PROTOCOL_STATE_HH

@@ -1,0 +1,125 @@
+#include "protocol/types.hh"
+
+#include <array>
+#include <cassert>
+
+namespace cxl
+{
+
+std::string
+toString(DState s)
+{
+    switch (s) {
+      case DState::I: return "I";
+      case DState::S: return "S";
+      case DState::M: return "M";
+      case DState::ISAD: return "ISAD";
+      case DState::ISD: return "ISD";
+      case DState::ISA: return "ISA";
+      case DState::IMAD: return "IMAD";
+      case DState::IMD: return "IMD";
+      case DState::IMA: return "IMA";
+      case DState::SMAD: return "SMAD";
+      case DState::SMD: return "SMD";
+      case DState::SMA: return "SMA";
+      case DState::MIA: return "MIA";
+      case DState::SIA: return "SIA";
+      case DState::SIAC: return "SIAC";
+      case DState::IIA: return "IIA";
+      case DState::ISDI: return "ISDI";
+    }
+    return "?";
+}
+
+std::string
+toString(HState s)
+{
+    switch (s) {
+      case HState::I: return "I";
+      case HState::S: return "S";
+      case HState::M: return "M";
+      case HState::SAD: return "SAD";
+      case HState::SD: return "SD";
+      case HState::SA: return "SA";
+      case HState::MAD: return "MAD";
+      case HState::MD: return "MD";
+      case HState::MA: return "MA";
+      case HState::ID: return "ID";
+      case HState::SB: return "SB";
+    }
+    return "?";
+}
+
+std::string
+toString(Instr i)
+{
+    switch (i) {
+      case Instr::None: return "None";
+      case Instr::Load: return "Load";
+      case Instr::Store: return "Store";
+      case Instr::Evict: return "Evict";
+    }
+    return "?";
+}
+
+std::string
+toString(D2HReqOp op)
+{
+    switch (op) {
+      case D2HReqOp::RdShared: return "RdShared";
+      case D2HReqOp::RdOwn: return "RdOwn";
+      case D2HReqOp::CleanEvict: return "CleanEvict";
+      case D2HReqOp::DirtyEvict: return "DirtyEvict";
+      case D2HReqOp::CleanEvictNoData: return "CleanEvictNoData";
+    }
+    return "?";
+}
+
+std::string
+toString(D2HRspOp op)
+{
+    switch (op) {
+      case D2HRspOp::RspIHitSE: return "RspIHitSE";
+      case D2HRspOp::RspIFwdM: return "RspIFwdM";
+      case D2HRspOp::RspSFwdM: return "RspSFwdM";
+      case D2HRspOp::RspIHitI: return "RspIHitI";
+    }
+    return "?";
+}
+
+std::string
+toString(H2DReqOp op)
+{
+    switch (op) {
+      case H2DReqOp::SnpData: return "SnpData";
+      case H2DReqOp::SnpInv: return "SnpInv";
+    }
+    return "?";
+}
+
+std::string
+toString(H2DRspOp op)
+{
+    switch (op) {
+      case H2DRspOp::GO: return "GO";
+      case H2DRspOp::GO_WritePull: return "GO_WritePull";
+      case H2DRspOp::GO_WritePullDrop: return "GO_WritePullDrop";
+    }
+    return "?";
+}
+
+DState
+dstateFromIndex(int idx)
+{
+    assert(idx >= 0 && idx < kNumDStates);
+    return static_cast<DState>(idx);
+}
+
+HState
+hstateFromIndex(int idx)
+{
+    assert(idx >= 0 && idx < kNumHStates);
+    return static_cast<HState>(idx);
+}
+
+} // namespace cxl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Core enumerations of the CXL.cache model (paper Figure 3).
+ *
+ * Device and host cacheline states, message opcodes and device
+ * instructions.  All enums are 8-bit so that the whole system state is
+ * a padding-free byte record that can be hashed and compared bytewise.
+ *
+ * Naming follows the paper: stable states M/S/I, device transients in
+ * Sorin-et-al. notation (IMAD = Invalid-to-Modified awaiting
+ * Acknowledgement and Data, ...), host transients named by target
+ * stable state plus what the host still awaits.  `ISDI` is included
+ * although the paper's Fig. 3 omits it: the paper's own
+ * "snoop responses need to be honest" invariant (Section 6) refers to
+ * it, and it is required for the ISD + SnpInv race.
+ */
+
+#ifndef CXL_PROTOCOL_TYPES_HH
+#define CXL_PROTOCOL_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cxl
+{
+
+/** Cache value. Stores write `device_id + 1`, so the domain is tiny. */
+using Val = std::uint8_t;
+
+/** Transaction identifier (paper: Tid = N, allocated from Counter). */
+using Tid = std::uint8_t;
+
+/** Device cacheline states: 3 stable + 14 transient. */
+enum class DState : std::uint8_t {
+    I,    ///< invalid
+    S,    ///< shared (read access)
+    M,    ///< modified/exclusive collapsed (write access), as in paper
+    ISAD, ///< I->S, awaiting GO (Ack) and Data
+    ISD,  ///< I->S, GO consumed, awaiting Data
+    ISA,  ///< I->S, Data consumed, awaiting GO
+    IMAD, ///< I->M, awaiting GO and Data
+    IMD,  ///< I->M, GO consumed, awaiting Data
+    IMA,  ///< I->M, Data consumed, awaiting GO
+    SMAD, ///< S->M upgrade, awaiting GO and Data
+    SMD,  ///< S->M, GO consumed, awaiting Data
+    SMA,  ///< S->M, Data consumed, awaiting GO
+    MIA,  ///< M->I dirty eviction, awaiting GO_WritePull
+    SIA,  ///< S->I clean eviction, awaiting GO_WritePull(Drop)
+    SIAC, ///< S->I via CleanEvictNoData; host must not pull data
+    IIA,  ///< eviction hit by a snoop; line dead, awaiting GO
+    ISDI, ///< was ISD, invalidated by snoop; reads in-flight data once
+};
+
+/** Number of DState values (for iteration in sweeps). */
+constexpr int kNumDStates = 17;
+
+/** Host-side states. The host acts as directory + home (Section 3). */
+enum class HState : std::uint8_t {
+    I,   ///< no device holds the line
+    S,   ///< one or more devices hold (or are being granted) S
+    M,   ///< one device owns (or is being granted) the line
+    SAD, ///< granting S: SnpData sent, awaiting response and data
+    SD,  ///< granting S: snoop response consumed, awaiting dirty data
+    SA,  ///< granting S: data consumed, awaiting response (unused by
+         ///< our decomposition; kept for Fig. 3 parity)
+    MAD, ///< granting M: SnpInv sent to dirty owner, awaiting rsp+data
+    MD,  ///< granting M: response consumed, awaiting dirty data
+    MA,  ///< granting M: SnpInv sent to clean sharer, awaiting response
+    ID,  ///< dirty eviction: GO_WritePull sent, awaiting writeback
+    SB,  ///< clean-evict data pull outstanding; host remains sharer
+};
+
+/** Number of HState values. */
+constexpr int kNumHStates = 11;
+
+/** Device program instructions (paper Fig. 3: Load/Store/Evict). */
+enum class Instr : std::uint8_t {
+    None, ///< program exhausted
+    Load,
+    Store,
+    Evict,
+};
+
+/** Device-to-host request opcodes (modelled subset, Section 3.2). */
+enum class D2HReqOp : std::uint8_t {
+    RdShared,
+    RdOwn,
+    CleanEvict,
+    DirtyEvict,
+    CleanEvictNoData,
+};
+
+/**
+ * Device-to-host response opcodes.  RspIHitI is never emitted by the
+ * correct model (perfect tracking means the host never snoops an
+ * invalid line); it exists for the mutated ISADSnpInv rule of Table 3.
+ */
+enum class D2HRspOp : std::uint8_t {
+    RspIHitSE,
+    RspIFwdM,
+    RspSFwdM,
+    RspIHitI,
+};
+
+/** Host-to-device request (snoop) opcodes. */
+enum class H2DReqOp : std::uint8_t {
+    SnpData,
+    SnpInv,
+};
+
+/** Host-to-device response opcodes. */
+enum class H2DRspOp : std::uint8_t {
+    GO,
+    GO_WritePull,
+    GO_WritePullDrop,
+};
+
+/** @return true for M/S/I. */
+constexpr bool
+isStable(DState s)
+{
+    return s == DState::I || s == DState::S || s == DState::M;
+}
+
+/** @return true for host M/S/I. */
+constexpr bool
+isStable(HState s)
+{
+    return s == HState::I || s == HState::S || s == HState::M;
+}
+
+/**
+ * @return true if the device holds (or is committed to holding)
+ * readable data: the states the SWMR "reader" side ranges over.
+ */
+constexpr bool
+hasReadAccess(DState s)
+{
+    return s == DState::S || s == DState::M;
+}
+
+/** @return true if the device has write access. */
+constexpr bool
+hasWriteAccess(DState s)
+{
+    return s == DState::M;
+}
+
+std::string toString(DState s);
+std::string toString(HState s);
+std::string toString(Instr i);
+std::string toString(D2HReqOp op);
+std::string toString(D2HRspOp op);
+std::string toString(H2DReqOp op);
+std::string toString(H2DRspOp op);
+
+/** DState from dense index [0, kNumDStates); for sweeps. */
+DState dstateFromIndex(int idx);
+
+/** HState from dense index [0, kNumHStates); for sweeps. */
+HState hstateFromIndex(int idx);
+
+} // namespace cxl
+
+#endif // CXL_PROTOCOL_TYPES_HH

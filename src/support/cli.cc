@@ -1,0 +1,52 @@
+#include "support/cli.hh"
+
+#include <cstdlib>
+
+namespace cxl
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value = "1";
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        options_[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return options_.count(name) != 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+} // namespace cxl

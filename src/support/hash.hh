@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hashing primitives for the state store.
+ *
+ * The explorer fingerprints encoded states with a 64-bit hash.  We use
+ * FNV-1a over the canonical byte encoding followed by a strong final
+ * mix (splitmix64) so that open-addressing probe sequences are well
+ * distributed even for states differing in a single byte.
+ */
+
+#ifndef CXL_SUPPORT_HASH_HH
+#define CXL_SUPPORT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cxl
+{
+
+/** FNV-1a 64-bit hash over a byte range. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** splitmix64 finaliser; a strong 64-bit bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Hash a byte range to a well-mixed 64-bit value. */
+inline std::uint64_t
+hashBytes(const void *data, std::size_t len)
+{
+    return mix64(fnv1a(data, len));
+}
+
+/**
+ * Deterministic counter-based RNG (splitmix64 stream).  Used by the
+ * obligation-universe sampler; seeding is explicit so every experiment
+ * is reproducible.
+ */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 random bits. */
+    constexpr std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    constexpr std::uint32_t
+    below(std::uint32_t bound)
+    {
+        return static_cast<std::uint32_t>(next() % bound);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    constexpr bool
+    chance(std::uint32_t num, std::uint32_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_HASH_HH

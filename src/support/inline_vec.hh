@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixed-capacity inline vector used for the bounded message channels of
+ * the CXL.cache model.
+ *
+ * The model checker stores millions of states, so channel containers
+ * must be trivially copyable, comparable and hashable with no heap
+ * traffic.  InlineVec stores up to N elements in-place and keeps the
+ * unused tail zeroed so that the raw bytes of equal vectors compare
+ * equal, which lets the state store hash whole states bytewise.
+ */
+
+#ifndef CXL_SUPPORT_INLINE_VEC_HH
+#define CXL_SUPPORT_INLINE_VEC_HH
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace cxl
+{
+
+/**
+ * A bounded, trivially-copyable vector of at most N elements.
+ *
+ * @tparam T element type; must be trivially copyable.
+ * @tparam N compile-time capacity.
+ */
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "InlineVec elements must be trivially copyable");
+    static_assert(N > 0 && N < 256, "capacity must fit in a byte");
+
+  public:
+    constexpr InlineVec() : size_(0), items_{} {}
+
+    constexpr InlineVec(std::initializer_list<T> init) : InlineVec()
+    {
+        assert(init.size() <= N);
+        for (const T &item : init)
+            pushBack(item);
+    }
+
+    /** Number of live elements. */
+    constexpr std::size_t size() const { return size_; }
+
+    /** Compile-time capacity. */
+    static constexpr std::size_t capacity() { return N; }
+
+    constexpr bool empty() const { return size_ == 0; }
+    constexpr bool full() const { return size_ == N; }
+
+    /**
+     * Append an element.
+     *
+     * @param item the element to append.
+     * @retval true on success, false if the vector was full.
+     */
+    constexpr bool
+    pushBack(const T &item)
+    {
+        if (full())
+            return false;
+        items_[size_++] = item;
+        return true;
+    }
+
+    /** First element; vector must be non-empty. */
+    constexpr const T &
+    front() const
+    {
+        assert(!empty());
+        return items_[0];
+    }
+
+    /** Last element; vector must be non-empty. */
+    constexpr const T &
+    back() const
+    {
+        assert(!empty());
+        return items_[size_ - 1];
+    }
+
+    /**
+     * Remove the first element, shifting the rest down (FIFO pop).
+     * The vacated tail slot is re-zeroed to keep byte-equality exact.
+     */
+    constexpr void
+    popFront()
+    {
+        assert(!empty());
+        for (std::size_t i = 1; i < size_; ++i)
+            items_[i - 1] = items_[i];
+        --size_;
+        items_[size_] = T{};
+    }
+
+    /** Remove all elements and re-zero the storage. */
+    constexpr void
+    clear()
+    {
+        items_ = {};
+        size_ = 0;
+    }
+
+    constexpr const T &
+    operator[](std::size_t idx) const
+    {
+        assert(idx < size_);
+        return items_[idx];
+    }
+
+    constexpr T &
+    operator[](std::size_t idx)
+    {
+        assert(idx < size_);
+        return items_[idx];
+    }
+
+    constexpr const T *begin() const { return items_.data(); }
+    constexpr const T *end() const { return items_.data() + size_; }
+
+    friend constexpr bool
+    operator==(const InlineVec &a, const InlineVec &b)
+    {
+        if (a.size_ != b.size_)
+            return false;
+        for (std::size_t i = 0; i < a.size_; ++i) {
+            if (!(a.items_[i] == b.items_[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint8_t size_;
+    std::array<T, N> items_;
+};
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_INLINE_VEC_HH

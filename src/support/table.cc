@@ -1,0 +1,63 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace cxl
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    assert(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    assert(row.size() <= header_.size());
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render(bool markdown) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &out,
+                        const std::vector<std::string> &cells) {
+        if (markdown)
+            out << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << (markdown ? " " : (c == 0 ? "" : "  "));
+            out << cells[c]
+                << std::string(widths[c] - cells[c].size(), ' ');
+            if (markdown)
+                out << " |";
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    emit_row(out, header_);
+
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        rule.push_back(std::string(widths[c], '-'));
+    emit_row(out, rule);
+
+    for (const auto &row : rows_)
+        emit_row(out, row);
+    return out.str();
+}
+
+} // namespace cxl

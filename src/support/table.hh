@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal ASCII table renderer.
+ *
+ * The litmus engine and every bench harness print transition tables in
+ * the layout of the paper's Tables 1-3, so we need a small column
+ * formatter rather than a dependency on a full text-UI library.
+ */
+
+#ifndef CXL_SUPPORT_TABLE_HH
+#define CXL_SUPPORT_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cxl
+{
+
+/**
+ * Accumulates rows of strings and renders them with column-aligned
+ * padding, a header separator, and optional markdown-style pipes.
+ */
+class TextTable
+{
+  public:
+    /** @param header column titles (fixes the column count). */
+    explicit TextTable(std::vector<std::string> header);
+
+    /**
+     * Append one row.  Rows shorter than the header are padded with
+     * empty cells; longer rows are a caller bug.
+     */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /**
+     * Render the table.
+     *
+     * @param markdown if true, emit GitHub-style `|`-delimited rows.
+     * @return the rendered table, newline terminated.
+     */
+    std::string render(bool markdown = false) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_TABLE_HH

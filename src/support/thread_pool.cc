@@ -1,0 +1,73 @@
+#include "support/thread_pool.hh"
+
+namespace cxl
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace cxl

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the state store and the BFS explorer: deduplication,
+ * trace reconstruction, violation and deadlock detection, limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hh"
+#include "checker/state_store.hh"
+
+namespace cxl
+{
+namespace
+{
+
+TEST(StateStore, InsertDeduplicates)
+{
+    StateStore store;
+    SystemState a = initialAllInvalid();
+    SystemState b = initialBothShared(1);
+
+    auto [ia, new_a] = store.insert(a, StateStore::kNoParent, 0, 0);
+    auto [ib, new_b] = store.insert(b, ia, 3, 1);
+    auto [ia2, dup] = store.insert(a, ib, 5, 2);
+
+    EXPECT_TRUE(new_a);
+    EXPECT_TRUE(new_b);
+    EXPECT_FALSE(dup);
+    EXPECT_EQ(ia, ia2);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.entry(ib).parent, ia);
+    EXPECT_EQ(store.entry(ib).ruleId, 3);
+    EXPECT_EQ(store.entry(ib).depth, 1);
+}
+
+TEST(StateStore, GrowsPastInitialCapacity)
+{
+    StateStore store(16);
+    for (int i = 0; i < 1000; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i % 251);
+        s.dev[0].val = static_cast<Val>(i / 251);
+        s.dev[0].pc = static_cast<std::uint8_t>(i % 7);
+        s.dev[1].pc = static_cast<std::uint8_t>(i % 11);
+        store.insert(s, StateStore::kNoParent, 0, 0);
+    }
+    // All distinct (counter, val, pc0, pc1) tuples survive the rehash.
+    EXPECT_GT(store.size(), 900u);
+    SystemState probe;
+    probe.counter = 5;
+    probe.dev[0].pc = 5;
+    probe.dev[1].pc = 5;
+    auto [idx, is_new] = store.insert(probe, StateStore::kNoParent, 0, 0);
+    (void)idx;
+    EXPECT_FALSE(is_new) << "i=5 must already be present";
+}
+
+class ExplorerTest : public ::testing::Test
+{
+  protected:
+    ExplorerTest()
+        : config(ProtocolConfig::correct()), rules(config),
+          invariants(InvariantSet::full(config))
+    {
+    }
+
+    ProtocolConfig config;
+    RuleSet rules;
+    InvariantSet invariants;
+};
+
+TEST_F(ExplorerTest, SingleLoadScenario)
+{
+    Scenario sc;
+    sc.initial = initialAllInvalid(3);
+    sc.program[0] = {Instr::Load};
+
+    Explorer ex(rules, sc, invariants);
+    ExploreResult res = ex.run();
+
+    EXPECT_TRUE(res.completed);
+    EXPECT_FALSE(res.violation.has_value());
+    // InvalidLoad1, HostInvalidRdShared1, then GO/Data consumption in
+    // three interleavings; BFS dedup makes the combined GO+Data path
+    // set the diameter at 3 (the split-path states join at depth 3).
+    EXPECT_GE(res.numStates, 6u);
+    EXPECT_LE(res.numStates, 12u);
+    EXPECT_EQ(res.maxDepth, 3u);
+}
+
+TEST_F(ExplorerTest, DeterministicAcrossRuns)
+{
+    Scenario sc;
+    sc.initial = initialAllInvalid(0);
+    sc.program[0] = {Instr::Store};
+    sc.program[1] = {Instr::Store};
+
+    Explorer ex(rules, sc, invariants);
+    ExploreResult a = ex.run();
+    ExploreResult b = ex.run();
+    EXPECT_EQ(a.numStates, b.numStates);
+    EXPECT_EQ(a.numTransitions, b.numTransitions);
+    EXPECT_EQ(a.ruleFireCounts, b.ruleFireCounts);
+}
+
+TEST_F(ExplorerTest, MaxStatesLimitStopsExploration)
+{
+    Scenario sc = Scenario::freeRunScenario();
+    Explorer ex(rules, sc, invariants);
+    ExploreOptions opt;
+    opt.maxStates = 100;
+    ExploreResult res = ex.run(opt);
+    EXPECT_FALSE(res.completed);
+    EXPECT_LE(res.numStates, 101u);
+}
+
+TEST_F(ExplorerTest, ViolationTraceStartsAtInitialState)
+{
+    ProtocolConfig mutated = config;
+    mutated.relaxSnoopPushesGo = true;
+    RuleSet mrules(mutated);
+    InvariantSet swmr = InvariantSet::swmrOnly();
+
+    Scenario sc;
+    sc.initial = initialAllInvalid(0);
+    sc.program[0] = {Instr::Store};
+    sc.program[1] = {Instr::Load};
+
+    Explorer ex(mrules, sc, swmr);
+    ExploreOptions opt;
+    opt.canonicaliseTids = false;
+    ExploreResult res = ex.run(opt);
+
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, Violation::Kind::Conjunct);
+    EXPECT_EQ(res.violation->conjunctFamily, "swmr");
+    ASSERT_GE(res.violation->trace.size(), 2u);
+    EXPECT_TRUE(res.violation->trace.front().ruleName.empty());
+    EXPECT_EQ(res.violation->trace.front().state, sc.initial);
+    EXPECT_FALSE(swmrHolds(res.violation->trace.back().state));
+    // Each step's rule must actually be a known rule.
+    for (std::size_t k = 1; k < res.violation->trace.size(); ++k) {
+        EXPECT_NE(mrules.find(res.violation->trace[k].ruleName), nullptr);
+    }
+    // Depth equals trace length minus the initial state.
+    EXPECT_EQ(res.violation->depth, res.violation->trace.size() - 1);
+}
+
+TEST_F(ExplorerTest, Table3ViolationAtDepthEight)
+{
+    // The paper's Table 3 walk takes 8 transitions from all-invalid to
+    // the incoherent state; BFS must find it at exactly that depth.
+    ProtocolConfig mutated = config;
+    mutated.relaxSnoopPushesGo = true;
+    RuleSet mrules(mutated);
+    InvariantSet swmr = InvariantSet::swmrOnly();
+
+    Scenario sc;
+    sc.initial = initialAllInvalid(0);
+    sc.program[0] = {Instr::Store};
+    sc.program[1] = {Instr::Load};
+
+    Explorer ex(mrules, sc, swmr);
+    ExploreResult res = ex.run();
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->depth, 8u);
+}
+
+TEST_F(ExplorerTest, NoDeadlockInLitmusPrograms)
+{
+    Scenario sc;
+    sc.initial = initialBothShared(0);
+    sc.program[0] = {Instr::Store, Instr::Evict};
+    sc.program[1] = {Instr::Load, Instr::Evict};
+
+    Explorer ex(rules, sc, invariants);
+    ExploreOptions opt;
+    opt.checkDeadlock = true;
+    ExploreResult res = ex.run(opt);
+    EXPECT_TRUE(res.completed);
+    EXPECT_FALSE(res.violation.has_value());
+}
+
+TEST_F(ExplorerTest, DeadlockDetected)
+{
+    // A hand-built stuck state: a device waits for a grant that no
+    // request will ever produce (its request channel is empty and the
+    // host is idle).
+    Scenario sc;
+    sc.initial = initialAllInvalid();
+    sc.initial.dev[0].state = DState::ISAD;
+    sc.program[0] = {Instr::Load};
+
+    Explorer ex(rules, sc, invariants);
+    ExploreOptions opt;
+    opt.checkInvariants = false; // the crafted state violates progress
+    opt.checkDeadlock = true;
+    ExploreResult res = ex.run(opt);
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, Violation::Kind::Deadlock);
+}
+
+TEST_F(ExplorerTest, FreeRunCoversEveryDeviceStateAndHostState)
+{
+    Scenario sc = Scenario::freeRunScenario();
+    Explorer ex(rules, sc, invariants);
+    ExploreResult res = ex.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_FALSE(res.violation.has_value());
+
+    // Free-run must exercise both devices symmetrically.
+    for (const Rule &rule : rules.rules()) {
+        if (rule.dev != 0)
+            continue;
+        std::string twin = rule.name;
+        twin.back() = '2';
+        const Rule *other = rules.find(twin);
+        ASSERT_NE(other, nullptr) << twin;
+        EXPECT_EQ(res.ruleFireCounts[rule.id],
+                  res.ruleFireCounts[other->id])
+            << rule.name << " vs " << twin
+            << ": the model must be device-symmetric";
+    }
+}
+
+} // namespace
+} // namespace cxl

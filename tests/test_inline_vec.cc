@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for InlineVec, the bounded channel container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/inline_vec.hh"
+
+namespace cxl
+{
+namespace
+{
+
+TEST(InlineVec, StartsEmpty)
+{
+    InlineVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_FALSE(v.full());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlineVec, PushBackUntilFull)
+{
+    InlineVec<int, 3> v;
+    EXPECT_TRUE(v.pushBack(1));
+    EXPECT_TRUE(v.pushBack(2));
+    EXPECT_TRUE(v.pushBack(3));
+    EXPECT_TRUE(v.full());
+    EXPECT_FALSE(v.pushBack(4)) << "push into a full vector must fail";
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(InlineVec, FrontBackIndex)
+{
+    InlineVec<int, 4> v{10, 20, 30};
+    EXPECT_EQ(v.front(), 10);
+    EXPECT_EQ(v.back(), 30);
+    EXPECT_EQ(v[1], 20);
+}
+
+TEST(InlineVec, PopFrontShiftsFifo)
+{
+    InlineVec<int, 4> v{1, 2, 3};
+    v.popFront();
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.front(), 2);
+    EXPECT_EQ(v.back(), 3);
+    v.popFront();
+    v.popFront();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVec, ClearResets)
+{
+    InlineVec<int, 4> v{1, 2, 3, 4};
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.pushBack(9));
+    EXPECT_EQ(v.front(), 9);
+}
+
+TEST(InlineVec, EqualityIsValueBased)
+{
+    InlineVec<int, 4> a{1, 2};
+    InlineVec<int, 4> b{1, 2};
+    InlineVec<int, 4> c{1, 3};
+    InlineVec<int, 4> d{1};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d);
+}
+
+TEST(InlineVec, PopRezeroesTailForBytewiseHashing)
+{
+    // The checker hashes states bytewise, so two equal vectors must be
+    // bytewise identical regardless of history.  Byte-sized elements
+    // as in the protocol message types (whose alignment-1 layout is
+    // what makes SystemState padding-free).
+    InlineVec<unsigned char, 4> a{7, 8, 9};
+    a.popFront();
+    a.popFront();
+
+    InlineVec<unsigned char, 4> b{9};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+        << "popped slots must be zeroed";
+}
+
+TEST(InlineVec, ClearRezeroesStorage)
+{
+    InlineVec<unsigned char, 4> a{5, 6, 7, 8};
+    a.clear();
+    InlineVec<unsigned char, 4> b;
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0);
+}
+
+TEST(InlineVec, RangeForIteratesLiveElements)
+{
+    InlineVec<int, 4> v{4, 5, 6};
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 15);
+}
+
+class InlineVecSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InlineVecSizeSweep, FillDrainRoundTrip)
+{
+    const int n = GetParam();
+    InlineVec<int, 8> v;
+    for (int i = 0; i < n; ++i)
+        ASSERT_TRUE(v.pushBack(i * i));
+    ASSERT_EQ(v.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(v.front(), i * i);
+        v.popFront();
+    }
+    EXPECT_TRUE(v.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFillLevels, InlineVecSizeSweep,
+                         ::testing::Range(0, 9));
+
+} // namespace
+} // namespace cxl

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the host-side transition rules: grant flows, snoop
+ * transactions, evictions and the GO-cannot-tailgate guards,
+ * parameterised over the requesting device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol/rules.hh"
+
+namespace cxl
+{
+namespace
+{
+
+class HostRules : public ::testing::TestWithParam<int>
+{
+  protected:
+    HostRules() : rules(ProtocolConfig::correct()) { sc.initial = {}; }
+
+    std::string
+    rn(const std::string &base) const
+    {
+        return base + std::to_string(GetParam() + 1);
+    }
+
+    int i() const { return GetParam(); }
+    int o() const { return SystemState::other(GetParam()); }
+
+    RuleSet rules;
+    Scenario sc;
+};
+
+TEST_P(HostRules, InvalidRdSharedGrants)
+{
+    SystemState s = initialAllInvalid(6);
+    s.dev[i()].state = DState::ISAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdShared, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostInvalidRdShared"), s, sc));
+    EXPECT_EQ(s.hstate, HState::S);
+    EXPECT_TRUE(s.dev[i()].d2hReq.empty());
+    ASSERT_EQ(s.dev[i()].h2dRsp.size(), 1u);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().op, H2DRspOp::GO);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().target, DState::S);
+    ASSERT_EQ(s.dev[i()].h2dData.size(), 1u);
+    EXPECT_EQ(s.dev[i()].h2dData.front().val, 6)
+        << "the grant carries the memory value";
+}
+
+TEST_P(HostRules, InvalidRdOwnGrantsOwnership)
+{
+    SystemState s = initialAllInvalid(6);
+    s.dev[i()].state = DState::IMAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostInvalidRdOwn"), s, sc));
+    EXPECT_EQ(s.hstate, HState::M);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().target, DState::M);
+}
+
+TEST_P(HostRules, SharedRdOwnSoleSharerUpgradesWithoutSnoop)
+{
+    SystemState s = initialBothShared(2);
+    s.dev[o()].state = DState::I; // requester is the only sharer
+    s.dev[i()].state = DState::SMAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostSharedRdOwnUpgrade"), s, sc));
+    EXPECT_EQ(s.hstate, HState::M);
+    EXPECT_TRUE(s.dev[o()].h2dReq.empty()) << "no snoop needed";
+}
+
+TEST_P(HostRules, SharedRdOwnSnoopsOtherSharer)
+{
+    // Table 3's SharedRdOwn step: snoop + early data, GO later.
+    SystemState s = initialBothShared(2);
+    s.dev[i()].state = DState::SMAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostSharedRdOwnSnp"), s, sc));
+    EXPECT_EQ(s.hstate, HState::MA);
+    ASSERT_EQ(s.dev[o()].h2dReq.size(), 1u);
+    EXPECT_EQ(s.dev[o()].h2dReq.front().op, H2DReqOp::SnpInv);
+    EXPECT_EQ(s.dev[o()].h2dReq.front().tid, 0)
+        << "the snoop reuses the request's transaction id";
+    ASSERT_EQ(s.dev[i()].h2dData.size(), 1u)
+        << "data travels to the requester immediately";
+    EXPECT_TRUE(s.dev[i()].h2dRsp.empty()) << "but the GO waits";
+
+    // Upgrade rule must NOT fire in the same state.
+    SystemState t = initialBothShared(2);
+    t.dev[i()].state = DState::SMAD;
+    t.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    t.counter = 1;
+    EXPECT_FALSE(rules.fire(rn("HostSharedRdOwnUpgrade"), t, sc));
+}
+
+TEST_P(HostRules, MaAckCompletesOwnershipGrant)
+{
+    SystemState s = initialAllInvalid(2);
+    s.hstate = HState::MA;
+    s.dev[i()].state = DState::SMAD;
+    s.dev[i()].h2dData.pushBack({0, 2, 0}); // early data already sent
+    s.dev[o()].state = DState::I;
+    s.dev[o()].d2hRsp.pushBack({D2HRspOp::RspIHitSE, 0});
+    s.dev[o()].buffer = DBuffer::fromReq({H2DReqOp::SnpInv, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostMA_RspIHitSE"), s, sc));
+    EXPECT_EQ(s.hstate, HState::M);
+    EXPECT_TRUE(s.dev[o()].d2hRsp.empty());
+    ASSERT_EQ(s.dev[i()].h2dRsp.size(), 1u);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().target, DState::M);
+}
+
+TEST_P(HostRules, MaAckWaitsForStaleGrantDataToDrain)
+{
+    // The snooped device was in ISD and went ISDI; its read-once data
+    // is still in flight, so the ownership GO must wait.
+    SystemState s = initialAllInvalid(2);
+    s.hstate = HState::MA;
+    s.dev[i()].state = DState::IMAD;
+    s.dev[i()].h2dData.pushBack({0, 2, 0});
+    s.dev[o()].state = DState::ISDI;
+    s.dev[o()].d2hRsp.pushBack({D2HRspOp::RspIHitSE, 0});
+    s.dev[o()].h2dData.pushBack({1, 2, 0}); // undrained grant data
+    s.counter = 2;
+
+    EXPECT_FALSE(rules.fire(rn("HostMA_RspIHitSE"), s, sc));
+    s.dev[o()].h2dData.clear();
+    EXPECT_TRUE(rules.fire(rn("HostMA_RspIHitSE"), s, sc));
+}
+
+TEST_P(HostRules, ModifiedRdSharedRunsSnpDataTransaction)
+{
+    SystemState s = initialOneModified(o(), 9, 1);
+    s.dev[i()].state = DState::ISAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdShared, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostModifiedRdShared"), s, sc));
+    EXPECT_EQ(s.hstate, HState::SAD);
+    EXPECT_EQ(s.dev[o()].h2dReq.front().op, H2DReqOp::SnpData);
+
+    // Owner responds.
+    ASSERT_TRUE(rules.fire("ModifiedSnpData" + std::to_string(o() + 1),
+                           s, sc));
+    ASSERT_TRUE(rules.fire(rn("HostSAD_RspSFwdM"), s, sc));
+    EXPECT_EQ(s.hstate, HState::SD);
+
+    ASSERT_TRUE(rules.fire(rn("HostSD_Data"), s, sc));
+    EXPECT_EQ(s.hstate, HState::S);
+    EXPECT_EQ(s.hval, 9) << "forwarded dirty data updates memory";
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().target, DState::S);
+    EXPECT_EQ(s.dev[i()].h2dData.front().val, 9);
+}
+
+TEST_P(HostRules, ModifiedRdOwnRunsSnpInvTransaction)
+{
+    SystemState s = initialOneModified(o(), 9, 1);
+    s.dev[i()].state = DState::IMAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostModifiedRdOwn"), s, sc));
+    EXPECT_EQ(s.hstate, HState::MAD);
+    ASSERT_TRUE(rules.fire("ModifiedSnpInv" + std::to_string(o() + 1),
+                           s, sc));
+    ASSERT_TRUE(rules.fire(rn("HostMAD_RspIFwdM"), s, sc));
+    EXPECT_EQ(s.hstate, HState::MD);
+    ASSERT_TRUE(rules.fire(rn("HostMD_Data"), s, sc));
+    EXPECT_EQ(s.hstate, HState::M);
+    EXPECT_EQ(s.hval, 9);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().target, DState::M);
+}
+
+TEST_P(HostRules, DirtyEvictFollowsFig4)
+{
+    // Paper Fig. 4, HostModifiedDirtyEvict1 verbatim.
+    SystemState s = initialOneModified(i(), 4, 0);
+    s.dev[i()].state = DState::MIA;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::DirtyEvict, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostModifiedDirtyEvict"), s, sc));
+    EXPECT_EQ(s.hstate, HState::ID);
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().op, H2DRspOp::GO_WritePull);
+    EXPECT_TRUE(s.dev[i()].buffer.isEmpty()) << "Fig. 4 clears DBuffer";
+
+    ASSERT_TRUE(
+        rules.fire("MIA_GO_WritePull" + std::to_string(i() + 1), s, sc));
+    ASSERT_TRUE(rules.fire(rn("HostID_Data"), s, sc));
+    EXPECT_EQ(s.hstate, HState::I);
+    EXPECT_EQ(s.hval, 4) << "Table 2: the writeback lands in memory";
+}
+
+TEST_P(HostRules, GoCannotTailgateSnoopGuard)
+{
+    // Fig. 4's fourth guard: no GO while the device's snoop-side
+    // channels are busy.
+    SystemState s = initialOneModified(i(), 4, 0);
+    s.dev[i()].state = DState::MIA;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::DirtyEvict, 0});
+    s.dev[i()].h2dReq.pushBack({H2DReqOp::SnpData, 1});
+    s.counter = 2;
+
+    EXPECT_FALSE(rules.fire(rn("HostModifiedDirtyEvict"), s, sc))
+        << "a GO must not be sent while a snoop is outstanding";
+}
+
+TEST_P(HostRules, CleanEvictLastVsNotLast)
+{
+    // Table 1: another sharer remains, directory stays S.
+    SystemState not_last = initialBothShared(2);
+    not_last.dev[i()].state = DState::SIA;
+    not_last.dev[i()].d2hReq.pushBack({D2HReqOp::CleanEvict, 0});
+    not_last.counter = 1;
+    ASSERT_TRUE(rules.fire(rn("HostSharedCleanEvictNotLastDrop"),
+                           not_last, sc));
+    EXPECT_EQ(not_last.hstate, HState::S);
+    EXPECT_EQ(not_last.dev[i()].h2dRsp.front().op,
+              H2DRspOp::GO_WritePullDrop);
+
+    // Last sharer leaving: the directory drops to I.
+    SystemState last = initialBothShared(2);
+    last.dev[o()].state = DState::I;
+    last.dev[i()].state = DState::SIA;
+    last.dev[i()].d2hReq.pushBack({D2HReqOp::CleanEvict, 0});
+    last.counter = 1;
+    EXPECT_FALSE(
+        rules.fire(rn("HostSharedCleanEvictNotLastDrop"), last, sc));
+    ASSERT_TRUE(
+        rules.fire(rn("HostSharedCleanEvictLastDrop"), last, sc));
+    EXPECT_EQ(last.hstate, HState::I);
+}
+
+TEST_P(HostRules, StaleEvictionDroppedUnderProposedFix)
+{
+    // Section 4.4: the snoop already collected the line, so the host
+    // may answer the orphaned eviction with GO_WritePullDrop.
+    SystemState s = initialOneModified(o(), 3, 1);
+    s.dev[i()].state = DState::IIA;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::DirtyEvict, 0});
+    s.counter = 1;
+
+    ASSERT_TRUE(rules.fire(rn("HostStaleDirtyEvictDrop"), s, sc));
+    EXPECT_EQ(s.dev[i()].h2dRsp.front().op, H2DRspOp::GO_WritePullDrop);
+    EXPECT_EQ(s.hstate, HState::M) << "directory already moved on";
+
+    // The standard-behaviour pull rule only exists when the fix is off.
+    EXPECT_EQ(rules.find(rn("HostStaleDirtyEvictPull")), nullptr);
+    ProtocolConfig standard;
+    standard.staleEvictDrop = false;
+    RuleSet std_rules(standard);
+    EXPECT_EQ(std_rules.find(rn("HostStaleDirtyEvictDrop")), nullptr);
+    ASSERT_NE(std_rules.find(rn("HostStaleDirtyEvictPull")), nullptr);
+}
+
+TEST_P(HostRules, CleanEvictNoDataNeverPulled)
+{
+    // Even in standard mode, a CleanEvictNoData is always dropped.
+    ProtocolConfig standard;
+    standard.staleEvictDrop = false;
+    RuleSet std_rules(standard);
+    EXPECT_NE(std_rules.find(rn("HostStaleCleanEvictNoDataDrop")),
+              nullptr);
+    EXPECT_EQ(std_rules.find(rn("HostStaleCleanEvictNoDataPull")),
+              nullptr);
+    EXPECT_EQ(std_rules.find(rn("HostSharedCleanEvictNoDataNotLastPull")),
+              nullptr);
+}
+
+TEST_P(HostRules, BogusDataDiscarded)
+{
+    SystemState s = initialAllInvalid(1);
+    s.dev[i()].d2hData.pushBack({0, 9, 1});
+    s.counter = 1;
+    ASSERT_TRUE(rules.fire(rn("HostBogusData"), s, sc));
+    EXPECT_TRUE(s.dev[i()].d2hData.empty());
+    EXPECT_EQ(s.hval, 1) << "bogus data must not touch memory";
+}
+
+TEST_P(HostRules, RequestsWaitWhileHostTransient)
+{
+    // One coherence transaction at a time: a queued request is not
+    // served while the host is mid-snoop.
+    SystemState s = initialOneModified(o(), 5, 0);
+    s.hstate = HState::MAD;
+    s.dev[i()].state = DState::IMAD;
+    s.dev[i()].d2hReq.pushBack({D2HReqOp::RdOwn, 1});
+    s.counter = 2;
+
+    EXPECT_FALSE(rules.fire(rn("HostInvalidRdOwn"), s, sc));
+    EXPECT_FALSE(rules.fire(rn("HostModifiedRdOwn"), s, sc));
+    EXPECT_FALSE(rules.fire(rn("HostSharedRdOwnUpgrade"), s, sc));
+    EXPECT_FALSE(rules.fire(rn("HostSharedRdOwnSnp"), s, sc));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRequesters, HostRules,
+                         ::testing::Range(0, 2));
+
+} // namespace
+} // namespace cxl

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for types, messages, and the SystemState record:
+ * padding-freeness, hashing, tid canonicalisation, builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol/message.hh"
+#include "protocol/state.hh"
+#include "protocol/types.hh"
+
+namespace cxl
+{
+namespace
+{
+
+TEST(Types, StablePredicates)
+{
+    EXPECT_TRUE(isStable(DState::I));
+    EXPECT_TRUE(isStable(DState::S));
+    EXPECT_TRUE(isStable(DState::M));
+    EXPECT_FALSE(isStable(DState::ISAD));
+    EXPECT_FALSE(isStable(DState::IIA));
+    EXPECT_TRUE(isStable(HState::M));
+    EXPECT_FALSE(isStable(HState::MAD));
+}
+
+TEST(Types, AccessPredicatesMatchSwmrDefinition)
+{
+    // SWMR ranges only over S and M (paper Definition 6.1).
+    for (int i = 0; i < kNumDStates; ++i) {
+        DState s = dstateFromIndex(i);
+        EXPECT_EQ(hasReadAccess(s), s == DState::S || s == DState::M);
+        EXPECT_EQ(hasWriteAccess(s), s == DState::M);
+    }
+}
+
+TEST(Types, ToStringRoundTripIsUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumDStates; ++i)
+        names.insert(toString(dstateFromIndex(i)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumDStates));
+
+    names.clear();
+    for (int i = 0; i < kNumHStates; ++i)
+        names.insert(toString(hstateFromIndex(i)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumHStates));
+}
+
+TEST(Messages, EqualityAndText)
+{
+    D2HReq a{D2HReqOp::RdOwn, 3};
+    D2HReq b{D2HReqOp::RdOwn, 3};
+    D2HReq c{D2HReqOp::RdShared, 3};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(toString(a), "(RdOwn, 3)");
+
+    H2DRsp go{H2DRspOp::GO, DState::S, 1};
+    EXPECT_EQ(toString(go), "(GO, S, 1)");
+
+    DataMsg d{2, 42, 1};
+    EXPECT_EQ(toString(d), "(Data(42), 2)!bogus");
+}
+
+TEST(DBuffer, Lifecycle)
+{
+    DBuffer b = DBuffer::empty();
+    EXPECT_TRUE(b.isEmpty());
+    EXPECT_EQ(toString(b), "_");
+
+    b = DBuffer::fromReq({H2DReqOp::SnpInv, 5});
+    EXPECT_FALSE(b.isEmpty());
+    EXPECT_TRUE(b.holdsSnoop(H2DReqOp::SnpInv));
+    EXPECT_FALSE(b.holdsSnoop(H2DReqOp::SnpData));
+    EXPECT_EQ(b.tid, 5);
+
+    DBuffer c = DBuffer::fromRsp({H2DRspOp::GO, DState::M, 2});
+    EXPECT_FALSE(c.holdsSnoop(H2DReqOp::SnpInv));
+    EXPECT_FALSE(b == c);
+}
+
+TEST(SystemState, DefaultIsAllInvalid)
+{
+    SystemState s;
+    EXPECT_EQ(s.dev[0].state, DState::I);
+    EXPECT_EQ(s.dev[1].state, DState::I);
+    EXPECT_EQ(s.hstate, HState::I);
+    EXPECT_EQ(s.counter, 0);
+    EXPECT_TRUE(s.dev[0].d2hReq.empty());
+    EXPECT_TRUE(structurallyWellFormed(s));
+}
+
+TEST(SystemState, HashDistinguishesStates)
+{
+    SystemState a, b;
+    EXPECT_EQ(a.hash(), b.hash());
+    b.dev[1].state = DState::S;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(SystemState, EqualityIsComponentwise)
+{
+    SystemState a = initialBothShared(3);
+    SystemState b = initialBothShared(3);
+    EXPECT_EQ(a, b);
+    b.dev[0].d2hReq.pushBack({D2HReqOp::CleanEvict, 0});
+    EXPECT_FALSE(a == b);
+}
+
+TEST(SystemState, Builders)
+{
+    SystemState shared = initialBothShared(9);
+    EXPECT_EQ(shared.dev[0].state, DState::S);
+    EXPECT_EQ(shared.dev[1].state, DState::S);
+    EXPECT_EQ(shared.hstate, HState::S);
+    EXPECT_EQ(shared.hval, 9);
+    EXPECT_EQ(shared.dev[0].val, 9);
+
+    SystemState owned = initialOneModified(1, 5, 2);
+    EXPECT_EQ(owned.dev[1].state, DState::M);
+    EXPECT_EQ(owned.dev[1].val, 5);
+    EXPECT_EQ(owned.dev[0].state, DState::I);
+    EXPECT_EQ(owned.hstate, HState::M);
+    EXPECT_EQ(owned.hval, 2);
+}
+
+TEST(SystemState, CanonicaliseRenamesTidsInOrder)
+{
+    SystemState s;
+    s.counter = 200;
+    s.dev[0].d2hReq.pushBack({D2HReqOp::RdOwn, 150});
+    s.dev[1].h2dRsp.pushBack({H2DRspOp::GO, DState::S, 99});
+    s.dev[1].h2dData.pushBack({99, 1, 0});
+    s.canonicaliseTids();
+
+    EXPECT_EQ(s.dev[0].d2hReq.front().tid, 0);
+    EXPECT_EQ(s.dev[1].h2dRsp.front().tid, 1);
+    EXPECT_EQ(s.dev[1].h2dData.front().tid, 1)
+        << "same original tid must map to the same canonical tid";
+    EXPECT_EQ(s.counter, 2);
+}
+
+TEST(SystemState, CanonicaliseIsIdempotent)
+{
+    SystemState s;
+    s.counter = 42;
+    s.dev[0].d2hReq.pushBack({D2HReqOp::RdShared, 17});
+    s.dev[0].buffer = DBuffer::fromReq({H2DReqOp::SnpInv, 30});
+    s.canonicaliseTids();
+    SystemState once = s;
+    s.canonicaliseTids();
+    EXPECT_EQ(s, once);
+}
+
+TEST(SystemState, CanonicaliseIdentifiesTidIsomorphicStates)
+{
+    SystemState a, b;
+    a.counter = 10;
+    a.dev[0].d2hReq.pushBack({D2HReqOp::RdOwn, 3});
+    b.counter = 99;
+    b.dev[0].d2hReq.pushBack({D2HReqOp::RdOwn, 77});
+    a.canonicaliseTids();
+    b.canonicaliseTids();
+    EXPECT_EQ(a, b);
+}
+
+TEST(SystemState, StructuralWellFormedness)
+{
+    SystemState s = initialAllInvalid();
+    EXPECT_TRUE(structurallyWellFormed(s));
+    s.dev[0].state = static_cast<DState>(200);
+    EXPECT_FALSE(structurallyWellFormed(s));
+}
+
+TEST(SystemState, DumpMentionsEveryComponent)
+{
+    SystemState s = initialBothShared(1);
+    s.dev[0].d2hReq.pushBack({D2HReqOp::CleanEvict, 0});
+    std::string dump = s.dump();
+    EXPECT_NE(dump.find("HCache"), std::string::npos);
+    EXPECT_NE(dump.find("Device 1"), std::string::npos);
+    EXPECT_NE(dump.find("Device 2"), std::string::npos);
+    EXPECT_NE(dump.find("CleanEvict"), std::string::npos);
+}
+
+} // namespace
+} // namespace cxl

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for hashing, the table renderer, the CLI parser and the
+ * thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/cli.hh"
+#include "support/hash.hh"
+#include "support/table.hh"
+#include "support/thread_pool.hh"
+
+namespace cxl
+{
+namespace
+{
+
+TEST(Hash, Deterministic)
+{
+    const char data[] = "cxl.cache";
+    EXPECT_EQ(hashBytes(data, sizeof(data)),
+              hashBytes(data, sizeof(data)));
+}
+
+TEST(Hash, SingleByteFlipChangesHash)
+{
+    unsigned char a[16] = {};
+    unsigned char b[16] = {};
+    b[7] = 1;
+    EXPECT_NE(hashBytes(a, sizeof(a)), hashBytes(b, sizeof(b)));
+}
+
+TEST(Hash, Mix64IsBijectiveish)
+{
+    // Distinct small inputs must produce distinct outputs.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SplitMix64, ReproducibleStream)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, BelowRespectsBound)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"a", "long_header"});
+    t.addRow({"xx", "y"});
+    std::string out = t.render();
+    // Every line has the same length.
+    std::size_t first_len = out.find('\n');
+    EXPECT_NE(first_len, std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, MarkdownMode)
+{
+    TextTable t({"col"});
+    t.addRow({"val"});
+    std::string out = t.render(true);
+    EXPECT_NE(out.find("| col"), std::string::npos);
+    EXPECT_NE(out.find("| val"), std::string::npos);
+}
+
+TEST(CliArgs, ParsesFlagsAndValues)
+{
+    const char *argv[] = {"prog", "--states", "100", "--verbose",
+                          "--name=abc", "positional"};
+    CliArgs args(6, argv);
+    EXPECT_EQ(args.getInt("states", 0), 100);
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.get("name", ""), "abc");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "positional");
+    EXPECT_EQ(args.getInt("absent", 42), 42);
+}
+
+TEST(ThreadPool, ExecutesAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks)
+{
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 10);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+} // namespace
+} // namespace cxl
