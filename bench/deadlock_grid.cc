@@ -14,6 +14,7 @@
 #include "bench_common.hh"
 #include "checker/explorer.hh"
 #include "invariants/invariant.hh"
+#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -40,8 +41,10 @@ programText(int idx)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliArgs args(argc, argv);
+
     bench::banner("Deadlock freedom over the program grid "
                   "(extension; paper Section 8 scopes this out)");
 
@@ -76,6 +79,7 @@ main()
                 Explorer ex(rules, sc, invariants);
                 ExploreOptions opt;
                 opt.checkDeadlock = true;
+                opt.numThreads = threadCountOption(args);
                 ExploreResult res = ex.run(opt);
                 total_states += res.numStates;
                 ++pairs;

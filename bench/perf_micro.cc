@@ -123,6 +123,32 @@ BM_ExhaustiveSwmrVerification(benchmark::State &state)
 BENCHMARK(BM_ExhaustiveSwmrVerification)->Unit(benchmark::kMillisecond);
 
 void
+BM_ParallelSwmrVerification(benchmark::State &state)
+{
+    // The same end-to-end run through the depth-synchronized
+    // parallel engine; the argument is the worker-thread count.
+    ProtocolConfig config = ProtocolConfig::correct();
+    RuleSet rules(config);
+    Scenario sc = Scenario::freeRunScenario();
+    InvariantSet inv = InvariantSet::full(config);
+    ExploreOptions opt;
+    opt.numThreads = static_cast<std::size_t>(state.range(0));
+    std::uint64_t states = 0;
+    for (auto _ : state) {
+        Explorer ex(rules, sc, inv);
+        ExploreResult res = ex.run(opt);
+        states = res.numStates;
+        benchmark::DoNotOptimize(res.numStates);
+    }
+    state.SetItemsProcessed(state.iterations() * states);
+}
+BENCHMARK(BM_ParallelSwmrVerification)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_LitmusExhaustive(benchmark::State &state)
 {
     // The alternating_ops scenario: the largest litmus state space.

@@ -8,18 +8,26 @@
  * vs. our rule, conjunct and state counts).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 #include "bench_common.hh"
 #include "checker/explorer.hh"
 #include "invariants/invariant.hh"
+#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliArgs args(argc, argv);
+    ExploreOptions opt;
+    opt.numThreads = threadCountOption(args);
+
     bench::banner("Theorem 6.2 (SWMR): exhaustive reachability over "
                   "the two-device, one-location model");
 
@@ -62,7 +70,7 @@ main()
         Scenario scenario = Scenario::freeRunScenario();
         InvariantSet invariants = InvariantSet::full(c.config);
         Explorer ex(rules, scenario, invariants);
-        ExploreResult res = ex.run();
+        ExploreResult res = ex.run(opt);
 
         bool ok = res.completed && !res.violation;
         all_ok &= ok;
@@ -91,9 +99,9 @@ main()
         Scenario scenario = Scenario::freeRunScenario();
         InvariantSet invariants = InvariantSet::full(config);
         Explorer ex(rules, scenario, invariants);
-        ExploreOptions opt;
-        opt.symmetryReduction = true;
-        ExploreResult res = ex.run(opt);
+        ExploreOptions sym_opt = opt;
+        sym_opt.symmetryReduction = true;
+        ExploreResult res = ex.run(sym_opt);
         std::printf("\nwith device-permutation symmetry reduction "
                     "(default config): %llu states (%s)\n",
                     static_cast<unsigned long long>(res.numStates),
@@ -114,6 +122,87 @@ main()
         "         well under a second per configuration.  For a fixed\n"
         "         finite model this decides the same property the\n"
         "         induction proves.\n");
+
+    // Thread-scaling sweep (--sweep 1,2,8): re-run the default
+    // configuration at each listed worker count, checking that the
+    // counts and verdict are bit-identical and reporting speedup
+    // over the first entry.  Repeats the model `--sweep-repeat`
+    // times per measurement (default 5) so the sub-second space
+    // produces a stable timing signal.  Entries must be 1..64;
+    // anything else is skipped with a warning.  A bare `--sweep`
+    // (or the indistinguishable `--sweep 1`) runs the default
+    // 1,2,8 sweep.
+    if (args.has("sweep")) {
+        std::vector<std::size_t> counts;
+        const std::string sweep_arg = args.get("sweep", "1,2,8");
+        std::stringstream ss(sweep_arg);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (item.empty() ||
+                item.find_first_not_of("0123456789") !=
+                    std::string::npos ||
+                item.size() > 2 || std::stoi(item) < 1 ||
+                std::stoi(item) > 64) {
+                std::fprintf(stderr,
+                             "ignoring bad --sweep entry '%s' "
+                             "(want 1..64)\n",
+                             item.c_str());
+                continue;
+            }
+            counts.push_back(
+                static_cast<std::size_t>(std::stoi(item)));
+        }
+        if (counts.empty() || sweep_arg == "1")
+            counts = {1, 2, 8};
+        const int repeat = std::max<int>(
+            1, static_cast<int>(args.getInt("sweep-repeat", 5)));
+
+        ProtocolConfig config = ProtocolConfig::correct();
+        RuleSet rules(config);
+        Scenario scenario = Scenario::freeRunScenario();
+        InvariantSet invariants = InvariantSet::full(config);
+        Explorer ex(rules, scenario, invariants);
+
+        TextTable sweep({"threads", "states", "transitions",
+                         "time (s)", "speedup", "identical"});
+        double base_time = 0.0;
+        ExploreResult base;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            const std::size_t n = counts[i];
+            ExploreOptions topt = opt;
+            topt.numThreads = n;
+            ExploreResult res;
+            double best = 0.0;
+            for (int r = 0; r < repeat; ++r) {
+                res = ex.run(topt);
+                if (r == 0 || res.seconds < best)
+                    best = res.seconds;
+            }
+            const bool first = i == 0;
+            if (first) {
+                base = res;
+                base_time = best;
+            }
+            bool same = res.numStates == base.numStates &&
+                        res.numTransitions == base.numTransitions &&
+                        res.ruleFireCounts == base.ruleFireCounts &&
+                        res.violation.has_value() ==
+                            base.violation.has_value();
+            all_ok &= same;
+            char time_txt[32], speed_txt[32];
+            std::snprintf(time_txt, sizeof(time_txt), "%.4f", best);
+            std::snprintf(speed_txt, sizeof(speed_txt), "%.2fx",
+                          best > 0 ? base_time / best : 0.0);
+            sweep.addRow({std::to_string(n),
+                          std::to_string(res.numStates),
+                          std::to_string(res.numTransitions), time_txt,
+                          first ? "1.00x" : speed_txt,
+                          same ? "yes" : "NO"});
+        }
+        std::printf("\nthread-scaling sweep (default configuration, "
+                    "best of %d runs):\n%s",
+                    repeat, sweep.render().c_str());
+    }
 
     std::printf("\nSWMR theorem: %s\n",
                 all_ok ? "HOLDS in every configuration" : "FAILED");

@@ -12,12 +12,14 @@
 #include "invariants/invariant.hh"
 #include "litmus/trace_table.hh"
 #include "protocol/rules.hh"
+#include "support/cli.hh"
 
 using namespace cxl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliArgs args(argc, argv);
     ProtocolConfig config = ProtocolConfig::correct();
     RuleSet rules(config);
     Scenario scenario = Scenario::freeRunScenario();
@@ -28,6 +30,7 @@ main()
 
     Explorer explorer(rules, scenario, invariants);
     ExploreOptions options;
+    options.numThreads = threadCountOption(args); // --threads N
     ExploreResult result = explorer.run(options);
 
     std::printf("reachable states : %llu\n",

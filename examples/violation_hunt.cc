@@ -10,6 +10,7 @@
  * Usage:
  *   violation_hunt [--mutation snoop_pushes_go|smad_guard|go_tailgate|
  *                              one_snoop] [--families swmr,...]
+ *                  [--threads N]   (0 = all hardware threads)
  */
 
 #include <cstdio>
@@ -65,7 +66,9 @@ main(int argc, char **argv)
                 invariants.size());
 
     Explorer explorer(rules, scenario, invariants);
-    ExploreResult res = explorer.run();
+    ExploreOptions opt;
+    opt.numThreads = threadCountOption(args);
+    ExploreResult res = explorer.run(opt);
 
     if (!res.violation) {
         std::printf("no violation found in %llu reachable states "

@@ -1,11 +1,76 @@
 #include "checker/explorer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <tuple>
+
+#include "support/thread_pool.hh"
 
 namespace cxl
 {
+namespace
+{
+
+/** One frontier slot: packed store id plus a copy of the state.
+ *
+ * Carrying the state keeps workers from dereferencing store entries
+ * while other workers append to the same shard (the dense entry
+ * arrays may reallocate mid-level). */
+struct FrontierNode {
+    std::uint32_t idx;
+    SystemState state;
+};
+
+/**
+ * A violation observed during one parallel level.  Candidates are
+ * collected per worker and the winner is selected at the level
+ * barrier by a thread-count-independent key, so the reported verdict
+ * is deterministic.
+ */
+struct Candidate {
+    Violation::Kind kind;
+    const Conjunct *conjunct; ///< non-null only for Kind::Conjunct
+    std::uint32_t idx;
+    std::uint32_t depth;
+    std::uint64_t stateHash;
+};
+
+/**
+ * Deterministic candidate order: shallowest first, then by state
+ * fingerprint, then overflow before conjunct (matching the sequential
+ * per-state check order).  Thread-count independent.
+ */
+bool
+candidateLess(const Candidate &a, const Candidate &b)
+{
+    auto rank = [](Violation::Kind k) {
+        switch (k) {
+          case Violation::Kind::Overflow: return 0;
+          case Violation::Kind::Conjunct: return 1;
+          case Violation::Kind::Deadlock: return 2;
+        }
+        return 3;
+    };
+    return std::make_tuple(a.depth, a.stateHash, rank(a.kind)) <
+           std::make_tuple(b.depth, b.stateHash, rank(b.kind));
+}
+
+/** Per-worker scratch, reused across levels so the hot path stays
+ * allocation-free once capacities have warmed up. */
+struct WorkerScratch {
+    std::vector<RuleSet::Successor> succs;
+    std::vector<FrontierNode> next;
+    std::vector<Candidate> candidates;
+    std::vector<std::uint64_t> ruleFires;
+    std::uint64_t transitions = 0;
+};
+
+} // namespace
 
 std::string
 Violation::describe() const
@@ -55,12 +120,27 @@ ExploreResult
 Explorer::run(const ExploreOptions &options)
 {
     auto start = std::chrono::steady_clock::now();
+    auto finish = [&start](ExploreResult &r) -> ExploreResult & {
+        auto end = std::chrono::steady_clock::now();
+        r.seconds = std::chrono::duration<double>(end - start).count();
+        return r;
+    };
+
+    std::size_t threads = options.numThreads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    // A per-worker scratch (and an OS thread) is allocated for each
+    // worker, so clamp runaway requests to something a machine could
+    // plausibly have.
+    threads = std::min<std::size_t>(threads, 1024);
 
     ExploreResult result;
     result.ruleFireCounts.assign(rules_.rules().size(), 0);
 
     StateStore store;
-    std::deque<std::uint32_t> frontier;
     Context ctx{&scenario_};
 
     auto symmetry_canon = [&options](SystemState &s) {
@@ -81,104 +161,206 @@ Explorer::run(const ExploreOptions &options)
     auto [init_idx, inserted] =
         store.insert(init, StateStore::kNoParent, 0, 0);
     (void)inserted;
-    frontier.push_back(init_idx);
 
-    auto report = [&](Violation::Kind kind, const Conjunct *conjunct,
-                      std::uint32_t idx, std::uint32_t depth) {
-        ++result.violationCount;
-        if (result.violation)
-            return false; // keep only the first trace
+    auto record = [&](const Candidate &c) {
         Violation v;
-        v.kind = kind;
-        if (conjunct) {
-            v.conjunctName = conjunct->name;
-            v.conjunctFamily = conjunct->family;
+        v.kind = c.kind;
+        if (c.conjunct) {
+            v.conjunctName = c.conjunct->name;
+            v.conjunctFamily = c.conjunct->family;
         }
-        v.stateIndex = idx;
-        v.depth = depth;
-        v.trace = rebuildTrace(store, idx);
+        v.stateIndex = c.idx;
+        v.depth = c.depth;
+        v.trace = rebuildTrace(store, c.idx);
         result.violation = std::move(v);
-        return options.stopAtFirstViolation;
     };
 
     // Check the initial state itself.
     if (options.checkInvariants) {
-        if (const Conjunct *bad =
-                invariants_.firstFailure(init, ctx)) {
-            report(Violation::Kind::Conjunct, bad, init_idx, 0);
+        if (const Conjunct *bad = invariants_.firstFailure(init, ctx)) {
+            ++result.violationCount;
+            record({Violation::Kind::Conjunct, bad, init_idx, 0,
+                    init.hash()});
             if (options.stopAtFirstViolation) {
                 result.numStates = store.size();
-                return result;
+                return finish(result);
             }
         }
     }
 
-    bool stopped = false;
-    while (!frontier.empty() && !stopped) {
-        std::uint32_t idx = frontier.front();
-        frontier.pop_front();
+    std::vector<FrontierNode> frontier, next_frontier;
+    frontier.push_back({init_idx, init});
 
-        // Copy: store.insert below may reallocate the entry array.
-        const SystemState state = store.entry(idx).state;
-        const std::uint16_t depth = store.entry(idx).depth;
-        result.maxDepth = std::max<std::uint32_t>(result.maxDepth, depth);
+    std::vector<WorkerScratch> scratch(threads);
+    for (WorkerScratch &s : scratch)
+        s.ruleFires.assign(rules_.rules().size(), 0);
 
-        if (depth >= options.maxDepth)
-            continue;
+    std::optional<ThreadPool> pool;
+    if (threads > 1)
+        pool.emplace(threads);
 
-        auto succs = rules_.successors(state, scenario_,
-                                       options.canonicaliseTids);
+    std::uint32_t depth = 0;
+    bool cap_stopped = false;
+    bool violation_stopped = false;
 
-        if (succs.empty() && options.checkDeadlock &&
-            !scenario_.freeRun && !scenario_.finished(state)) {
-            if (report(Violation::Kind::Deadlock, nullptr, idx, depth))
-                break;
+    // First exception thrown by any worker (e.g. a full shard); it
+    // is rethrown at the level barrier so errors surface as a
+    // catchable exception from run() in parallel mode too.
+    std::mutex error_mutex;
+    std::exception_ptr worker_error;
+
+    while (!frontier.empty()) {
+        result.maxDepth = std::max(result.maxDepth, depth);
+        if (depth >= options.maxDepth) {
+            // Depth-capped states count toward the diameter but are
+            // not expanded; the walk still counts as completed.
+            frontier.clear();
+            break;
         }
 
-        for (auto &succ : succs) {
-            ++result.numTransitions;
-            ++result.ruleFireCounts[succ.rule->id];
-            symmetry_canon(succ.state);
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<bool> cap_hit{false};
 
-            auto [succ_idx, is_new] =
-                store.insert(succ.state, idx, succ.rule->id,
-                             static_cast<std::uint16_t>(depth + 1));
-            if (!is_new)
-                continue;
+        // Claim granularity: fine enough that a level spreads over
+        // all workers, coarse enough that the claim counter is not a
+        // contention point (per-state work is microseconds).
+        const std::size_t grain = std::max<std::size_t>(
+            1, std::min<std::size_t>(
+                   64, frontier.size() / (8 * threads)));
 
-            if (succ.overflow) {
-                if (report(Violation::Kind::Overflow, nullptr, succ_idx,
-                           depth + 1)) {
-                    stopped = true;
-                    break;
-                }
-            }
-            if (options.checkInvariants) {
-                if (const Conjunct *bad =
-                        invariants_.firstFailure(succ.state, ctx)) {
-                    if (report(Violation::Kind::Conjunct, bad, succ_idx,
-                               depth + 1)) {
-                        stopped = true;
-                        break;
+        auto workLevel = [&](WorkerScratch &ws) {
+            Context wctx{&scenario_};
+            for (;;) {
+                if (cap_hit.load(std::memory_order_relaxed))
+                    return;
+                std::size_t begin =
+                    cursor.fetch_add(grain, std::memory_order_relaxed);
+                if (begin >= frontier.size())
+                    return;
+                std::size_t end =
+                    std::min(begin + grain, frontier.size());
+                for (std::size_t i = begin; i < end; ++i) {
+                    const FrontierNode &node = frontier[i];
+                    rules_.successorsInto(node.state, scenario_,
+                                          options.canonicaliseTids,
+                                          ws.succs);
+
+                    if (ws.succs.empty() && options.checkDeadlock &&
+                        !scenario_.freeRun &&
+                        !scenario_.finished(node.state)) {
+                        ws.candidates.push_back(
+                            {Violation::Kind::Deadlock, nullptr,
+                             node.idx, depth, node.state.hash()});
+                    }
+
+                    for (auto &succ : ws.succs) {
+                        ++ws.transitions;
+                        ++ws.ruleFires[succ.rule->id];
+                        symmetry_canon(succ.state);
+
+                        const std::uint64_t h = succ.state.hash();
+                        auto [succ_idx, is_new] =
+                            store.insert(succ.state, h, node.idx,
+                                         succ.rule->id, depth + 1);
+
+                        // Overflow is a property of the *edge*, not
+                        // of the target state, and which edge wins
+                        // the insert race is thread-dependent —
+                        // report it independently of is_new so the
+                        // verdict stays deterministic.
+                        if (succ.overflow) {
+                            ws.candidates.push_back(
+                                {Violation::Kind::Overflow, nullptr,
+                                 succ_idx, depth + 1, h});
+                        }
+                        if (!is_new)
+                            continue;
+                        if (options.checkInvariants) {
+                            if (const Conjunct *bad =
+                                    invariants_.firstFailure(succ.state,
+                                                             wctx)) {
+                                ws.candidates.push_back(
+                                    {Violation::Kind::Conjunct, bad,
+                                     succ_idx, depth + 1, h});
+                            }
+                        }
+
+                        if (store.size() >= options.maxStates) {
+                            cap_hit.store(true,
+                                          std::memory_order_relaxed);
+                            return;
+                        }
+                        ws.next.push_back({succ_idx, succ.state});
                     }
                 }
             }
+        };
 
-            if (store.size() >= options.maxStates) {
-                stopped = true;
-                break;
+        auto work = [&](WorkerScratch &ws) {
+            try {
+                workLevel(ws);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!worker_error)
+                    worker_error = std::current_exception();
+                // Make peers drain their claims promptly.
+                cap_hit.store(true, std::memory_order_relaxed);
             }
-            frontier.push_back(succ_idx);
+        };
+
+        // Small levels are expanded inline: the result is identical
+        // by construction and the dispatch overhead is skipped.
+        const bool parallel =
+            threads > 1 && frontier.size() >= 2 * threads;
+        if (parallel) {
+            for (std::size_t t = 0; t < threads; ++t)
+                pool->submit([&, t] { work(scratch[t]); });
+            pool->wait();
+        } else {
+            work(scratch[0]);
         }
+        if (worker_error)
+            std::rethrow_exception(worker_error);
+
+        // Depth barrier: merge per-worker scratch into the result.
+        next_frontier.clear();
+        std::optional<Candidate> best;
+        for (WorkerScratch &ws : scratch) {
+            result.numTransitions += ws.transitions;
+            ws.transitions = 0;
+            for (std::size_t r = 0; r < ws.ruleFires.size(); ++r) {
+                result.ruleFireCounts[r] += ws.ruleFires[r];
+                ws.ruleFires[r] = 0;
+            }
+            next_frontier.insert(next_frontier.end(), ws.next.begin(),
+                                 ws.next.end());
+            ws.next.clear();
+            for (const Candidate &c : ws.candidates) {
+                ++result.violationCount;
+                if (!best || candidateLess(c, *best))
+                    best = c;
+            }
+            ws.candidates.clear();
+        }
+
+        if (best && !result.violation) {
+            record(*best); // store is quiescent at the barrier
+            if (options.stopAtFirstViolation)
+                violation_stopped = true;
+        }
+        if (cap_hit.load(std::memory_order_relaxed))
+            cap_stopped = true;
+        if (violation_stopped || cap_stopped)
+            break;
+
+        frontier.swap(next_frontier);
+        ++depth;
     }
 
     result.numStates = store.size();
-    result.completed = frontier.empty() && !stopped;
-
-    auto end = std::chrono::steady_clock::now();
-    result.seconds =
-        std::chrono::duration<double>(end - start).count();
-    return result;
+    result.completed =
+        frontier.empty() && !cap_stopped && !violation_stopped;
+    return finish(result);
 }
 
 } // namespace cxl

@@ -9,6 +9,12 @@
  * violation (or deadlock, if requested) the explorer reconstructs the
  * full rule-labelled trace from the initial state — the counterpart of
  * the paper's message-sequence-chart counterexamples (Fig. 5).
+ *
+ * Exploration is depth-synchronized and parallel: each BFS level is
+ * expanded by a worker pool over the sharded StateStore, with
+ * per-worker scratch buffers merged at the level barrier.  Results
+ * (state count, transition count, violation verdict and depth) are
+ * deterministic regardless of thread count; see Explorer::run.
  */
 
 #ifndef CXL_CHECKER_EXPLORER_HH
@@ -54,6 +60,21 @@ struct ExploreOptions {
      * (program mode only; free-run states always have successors).
      */
     bool checkDeadlock = true;
+
+    /**
+     * Worker threads for the depth-synchronized parallel expansion;
+     * 0 means one per hardware thread.  For runs that complete or
+     * stop at a violation, any value yields the same
+     * state/transition counts and violation verdict (the explorer
+     * completes the BFS level a violation is found in and picks the
+     * deterministically smallest witness); only wall-clock time and
+     * the shape of the reconstructed trace may differ.  Runs
+     * truncated by maxStates stop at a thread-dependent point: the
+     * cap may be overshot by up to one state per worker and the
+     * final counts are not comparable across thread counts.
+     * Requests above 1024 workers are clamped.
+     */
+    std::size_t numThreads = 0;
 };
 
 /** A single step of a counterexample trace. */
@@ -65,9 +86,15 @@ struct TraceStep {
 /** Description of a found violation. */
 struct Violation {
     enum class Kind : std::uint8_t {
-        Conjunct,  ///< an invariant conjunct failed
-        Overflow,  ///< a rule overfilled a channel (mutated models)
-        Deadlock,  ///< no rule enabled before program completion
+        Conjunct, ///< an invariant conjunct failed
+        /**
+         * A rule overfilled a channel (mutated models).  Counted per
+         * overflowing transition: overflow is an edge property, and
+         * gating it on target-state novelty would make the verdict
+         * depend on which racing edge inserted the state first.
+         */
+        Overflow,
+        Deadlock, ///< no rule enabled before program completion
     };
 
     Kind kind = Kind::Conjunct;

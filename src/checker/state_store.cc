@@ -1,58 +1,76 @@
 #include "checker/state_store.hh"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace cxl
 {
 
 StateStore::StateStore(std::size_t initial_buckets)
 {
+    std::size_t per_shard = initial_buckets / kNumShards;
     std::size_t cap = 16;
-    while (cap < initial_buckets)
+    while (cap < per_shard)
         cap <<= 1;
-    buckets_.assign(cap, 0);
-    mask_ = cap - 1;
+    for (Shard &shard : shards_) {
+        shard.buckets.assign(cap, 0);
+        shard.mask = cap - 1;
+    }
 }
 
 std::pair<std::uint32_t, bool>
-StateStore::insert(const SystemState &state, std::uint32_t parent,
-                   std::uint16_t rule_id, std::uint16_t depth)
+StateStore::insert(const SystemState &state, std::uint64_t hash,
+                   std::uint32_t parent, std::uint16_t rule_id,
+                   std::uint32_t depth)
 {
-    if ((entries_.size() + 1) * 10 >= buckets_.size() * 7)
-        grow();
+    // Route by the top bits; probe by the low bits, so the two index
+    // streams stay independent.
+    const std::uint32_t shard_idx =
+        static_cast<std::uint32_t>(hash >> (64 - kShardBits));
+    Shard &shard = shards_[shard_idx];
 
-    std::uint64_t slot = state.hash() & mask_;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+
+    if ((shard.entries.size() + 1) * 10 >= shard.buckets.size() * 7)
+        growShard(shard);
+
+    std::uint64_t slot = hash & shard.mask;
     for (;;) {
-        std::uint32_t bucket = buckets_[slot];
+        std::uint32_t bucket = shard.buckets[slot];
         if (bucket == 0) {
+            // kOffsetMask itself is unusable: shard kNumShards-1 would
+            // pack it to the kNoParent sentinel.
+            if (shard.entries.size() >= kOffsetMask)
+                throw std::length_error("StateStore shard full");
             Entry e;
             e.state = state;
             e.parent = parent;
             e.ruleId = rule_id;
             e.depth = depth;
-            entries_.push_back(e);
-            auto idx = static_cast<std::uint32_t>(entries_.size() - 1);
-            buckets_[slot] = idx + 1;
-            return {idx, true};
+            shard.entries.push_back(e);
+            auto off =
+                static_cast<std::uint32_t>(shard.entries.size() - 1);
+            shard.buckets[slot] = off + 1;
+            total_.fetch_add(1, std::memory_order_release);
+            return {(shard_idx << kOffsetBits) | off, true};
         }
-        std::uint32_t idx = bucket - 1;
-        if (entries_[idx].state == state)
-            return {idx, false};
-        slot = (slot + 1) & mask_;
+        std::uint32_t off = bucket - 1;
+        if (shard.entries[off].state == state)
+            return {(shard_idx << kOffsetBits) | off, false};
+        slot = (slot + 1) & shard.mask;
     }
 }
 
 void
-StateStore::grow()
+StateStore::growShard(Shard &shard)
 {
-    std::size_t cap = buckets_.size() * 2;
-    buckets_.assign(cap, 0);
-    mask_ = cap - 1;
-    for (std::uint32_t idx = 0; idx < entries_.size(); ++idx) {
-        std::uint64_t slot = entries_[idx].state.hash() & mask_;
-        while (buckets_[slot] != 0)
-            slot = (slot + 1) & mask_;
-        buckets_[slot] = idx + 1;
+    std::size_t cap = shard.buckets.size() * 2;
+    shard.buckets.assign(cap, 0);
+    shard.mask = cap - 1;
+    for (std::uint32_t off = 0; off < shard.entries.size(); ++off) {
+        std::uint64_t slot = shard.entries[off].state.hash() & shard.mask;
+        while (shard.buckets[slot] != 0)
+            slot = (slot + 1) & shard.mask;
+        shard.buckets[slot] = off + 1;
     }
 }
 

@@ -2,16 +2,34 @@
  * @file
  * Visited-state store of the explicit-state checker.
  *
- * An open-addressing hash table maps state fingerprints to indices in
- * a dense entry array; each entry keeps the state itself plus
- * parent/rule breadcrumbs so that counterexample traces can be
- * reconstructed Murphi-style.
+ * The store is sharded for concurrency: a state's 64-bit fingerprint
+ * routes it (top bits) to one of kNumShards lock-striped shards, each
+ * of which is the classic Murphi layout — an open-addressing hash
+ * table mapping fingerprints to indices in a dense per-shard entry
+ * array, every entry keeping the state itself plus parent/rule
+ * breadcrumbs so counterexample traces can be reconstructed.
+ *
+ * State identifiers are (shard, offset) pairs packed into a u32:
+ * the top kShardBits select the shard, the low kOffsetBits index the
+ * shard's entry array.  Packed ids are stable for the lifetime of the
+ * store and never collide with kNoParent.
+ *
+ * Thread-safety: insert() may be called concurrently from any number
+ * of threads.  entry() and the id-returning contract of insert() are
+ * safe to use concurrently with inserts *to observe ids*, but the
+ * returned Entry reference is only safe to dereference while no other
+ * thread is inserting into the same shard (the dense entry array may
+ * reallocate).  The parallel explorer therefore never reads entries
+ * during a parallel expansion phase; traces are rebuilt between
+ * depth barriers when the store is quiescent.
  */
 
 #ifndef CXL_CHECKER_STATE_STORE_HH
 #define CXL_CHECKER_STATE_STORE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -20,47 +38,90 @@
 namespace cxl
 {
 
-/** Dense store of deduplicated states with BFS parent pointers. */
+/** Sharded dense store of deduplicated states with BFS breadcrumbs. */
 class StateStore
 {
   public:
     /** Sentinel parent index for root states. */
     static constexpr std::uint32_t kNoParent = 0xffffffffu;
 
+    /** log2 of the shard count. */
+    static constexpr std::uint32_t kShardBits = 4;
+    /** Number of lock-striped shards. */
+    static constexpr std::uint32_t kNumShards = 1u << kShardBits;
+    /** Bits of a packed id addressing within a shard. */
+    static constexpr std::uint32_t kOffsetBits = 32 - kShardBits;
+    /** Mask extracting the offset from a packed id. */
+    static constexpr std::uint32_t kOffsetMask =
+        (1u << kOffsetBits) - 1;
+
     struct Entry {
         SystemState state;
         std::uint32_t parent = kNoParent;
+        std::uint32_t depth = 0;  ///< BFS depth from the initial state
         std::uint16_t ruleId = 0; ///< rule that produced this state
-        std::uint16_t depth = 0;  ///< BFS depth from the initial state
     };
 
+    /** @param initial_buckets total bucket hint, split across shards. */
     explicit StateStore(std::size_t initial_buckets = 1 << 16);
 
     /**
-     * Insert a state if new.
+     * Insert a state if new (fingerprint computed internally).
      *
-     * @return (index, inserted): index of the canonical entry for the
+     * @return (packed id, inserted): id of the canonical entry for the
      *         state, and whether this call created it.
      */
     std::pair<std::uint32_t, bool>
     insert(const SystemState &state, std::uint32_t parent,
-           std::uint16_t rule_id, std::uint16_t depth);
-
-    const Entry &
-    entry(std::uint32_t idx) const
+           std::uint16_t rule_id, std::uint32_t depth)
     {
-        return entries_[idx];
+        return insert(state, state.hash(), parent, rule_id, depth);
     }
 
-    std::size_t size() const { return entries_.size(); }
+    /**
+     * Insert with a precomputed fingerprint.  Parallel workers hash
+     * outside the shard lock and pass the value here so the lock only
+     * covers the probe/append.
+     */
+    std::pair<std::uint32_t, bool>
+    insert(const SystemState &state, std::uint64_t hash,
+           std::uint32_t parent, std::uint16_t rule_id,
+           std::uint32_t depth);
+
+    /** Entry for a packed id (see class comment for thread-safety). */
+    const Entry &
+    entry(std::uint32_t id) const
+    {
+        return shards_[shardOf(id)].entries[id & kOffsetMask];
+    }
+
+    /** Total states across all shards. */
+    std::size_t
+    size() const
+    {
+        return total_.load(std::memory_order_acquire);
+    }
+
+    /** Shard a packed id belongs to. */
+    static constexpr std::uint32_t
+    shardOf(std::uint32_t id)
+    {
+        return id >> kOffsetBits;
+    }
 
   private:
-    void grow();
+    struct alignas(64) Shard {
+        mutable std::mutex mutex;
+        std::vector<Entry> entries;
+        /// Bucket content is entry offset + 1; 0 means empty.
+        std::vector<std::uint32_t> buckets;
+        std::uint64_t mask = 0;
+    };
 
-    std::vector<Entry> entries_;
-    /// Bucket content is entry index + 1; 0 means empty.
-    std::vector<std::uint32_t> buckets_;
-    std::uint64_t mask_ = 0;
+    static void growShard(Shard &shard);
+
+    Shard shards_[kNumShards];
+    std::atomic<std::uint64_t> total_{0};
 };
 
 } // namespace cxl

@@ -55,8 +55,8 @@ runLitmus(const LitmusTest &test)
         std::uint32_t idx = frontier.front();
         frontier.pop_front();
         const SystemState state = store.entry(idx).state;
-        const std::uint16_t depth = store.entry(idx).depth;
-        max_depth = std::max<std::uint32_t>(max_depth, depth);
+        const std::uint32_t depth = store.entry(idx).depth;
+        max_depth = std::max(max_depth, depth);
 
         auto succs = rules.successors(state, test.scenario, false);
         if (succs.empty()) {
@@ -70,9 +70,8 @@ runLitmus(const LitmusTest &test)
         }
         for (const auto &succ : succs) {
             ++transitions;
-            auto [sidx, is_new] = store.insert(
-                succ.state, idx, succ.rule->id,
-                static_cast<std::uint16_t>(depth + 1));
+            auto [sidx, is_new] =
+                store.insert(succ.state, idx, succ.rule->id, depth + 1);
             if (!is_new)
                 continue;
             if (succ.overflow)

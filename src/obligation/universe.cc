@@ -15,29 +15,31 @@ std::vector<SystemState>
 collectReachable(const RuleSet &rules, const Scenario &scenario,
                  std::size_t cap)
 {
+    // Collect states in discovery order alongside the dedup store;
+    // packed (shard, offset) store ids are not densely iterable.
     StateStore store;
-    std::deque<std::uint32_t> frontier;
+    std::vector<SystemState> states;
+    std::deque<std::size_t> frontier;
     SystemState init = scenario.initial;
     init.canonicaliseTids();
-    frontier.push_back(
-        store.insert(init, StateStore::kNoParent, 0, 0).first);
+    store.insert(init, StateStore::kNoParent, 0, 0);
+    states.push_back(init);
+    frontier.push_back(0);
 
-    while (!frontier.empty() && store.size() < cap) {
-        std::uint32_t idx = frontier.front();
+    while (!frontier.empty() && states.size() < cap) {
+        const SystemState state = states[frontier.front()];
         frontier.pop_front();
-        const SystemState state = store.entry(idx).state;
         for (auto &succ : rules.successors(state, scenario, true)) {
-            auto [sidx, is_new] = store.insert(succ.state, idx,
-                                               succ.rule->id, 0);
-            if (is_new && store.size() < cap)
-                frontier.push_back(sidx);
+            auto [sidx, is_new] = store.insert(
+                succ.state, StateStore::kNoParent, succ.rule->id, 0);
+            (void)sidx;
+            if (is_new && states.size() < cap) {
+                states.push_back(succ.state);
+                frontier.push_back(states.size() - 1);
+            }
         }
     }
 
-    std::vector<SystemState> states;
-    states.reserve(store.size());
-    for (std::uint32_t i = 0; i < store.size(); ++i)
-        states.push_back(store.entry(i).state);
     return states;
 }
 

@@ -92,18 +92,26 @@ std::vector<RuleSet::Successor>
 RuleSet::successors(const SystemState &state, const Scenario &scenario,
                     bool canonicalise) const
 {
-    Context ctx{&scenario};
     std::vector<Successor> result;
+    successorsInto(state, scenario, canonicalise, result);
+    return result;
+}
+
+void
+RuleSet::successorsInto(const SystemState &state,
+                        const Scenario &scenario, bool canonicalise,
+                        std::vector<Successor> &out) const
+{
+    out.clear();
+    Context ctx{&scenario};
     for (const Rule &rule : rules_) {
         if (!rule.guard(state, ctx))
             continue;
-        Successor succ{&rule, state, false};
+        Successor &succ = out.emplace_back(Successor{&rule, state, false});
         succ.overflow = !rule.apply(succ.state, ctx);
         if (canonicalise)
             succ.state.canonicaliseTids();
-        result.push_back(std::move(succ));
     }
-    return result;
 }
 
 bool

@@ -84,6 +84,15 @@ class RuleSet
                bool canonicalise = false) const;
 
     /**
+     * Enumerate successors into a caller-owned buffer (cleared first).
+     * The parallel explorer reuses one buffer per worker so the hot
+     * path performs no allocation once buffer capacity has warmed up.
+     */
+    void successorsInto(const SystemState &state,
+                        const Scenario &scenario, bool canonicalise,
+                        std::vector<Successor> &out) const;
+
+    /**
      * Fire the named rule on @p state if enabled.
      *
      * @retval true if the rule was enabled and applied.

@@ -3,8 +3,6 @@
 #include <array>
 #include <sstream>
 
-#include "support/hash.hh"
-
 namespace cxl
 {
 namespace
@@ -57,12 +55,6 @@ channelText(const InlineVec<T, N> &chan)
 }
 
 } // namespace
-
-std::uint64_t
-SystemState::hash() const
-{
-    return hashBytes(this, sizeof(SystemState));
-}
 
 void
 SystemState::canonicaliseTids()

@@ -17,6 +17,7 @@
 
 #include "protocol/message.hh"
 #include "protocol/types.hh"
+#include "support/hash.hh"
 #include "support/inline_vec.hh"
 
 namespace cxl
@@ -81,8 +82,17 @@ struct SystemState {
                a.counter == b.counter;
     }
 
-    /** 64-bit fingerprint of the canonical byte encoding. */
-    std::uint64_t hash() const;
+    /**
+     * 64-bit fingerprint of the canonical byte encoding.  Inline: the
+     * explorer hashes every generated successor, and the sharded
+     * state store routes on the top bits and probes on the low bits
+     * of this value.
+     */
+    std::uint64_t
+    hash() const
+    {
+        return hashBytes(this, sizeof(SystemState));
+    }
 
     /**
      * Relabel transaction identifiers in first-appearance order and

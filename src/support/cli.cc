@@ -49,4 +49,12 @@ CliArgs::getInt(const std::string &name, std::int64_t fallback) const
     return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+std::size_t
+threadCountOption(const CliArgs &args, std::size_t fallback)
+{
+    std::int64_t n =
+        args.getInt("threads", static_cast<std::int64_t>(fallback));
+    return n <= 0 ? 0 : static_cast<std::size_t>(n);
+}
+
 } // namespace cxl

@@ -46,6 +46,14 @@ class CliArgs
     std::vector<std::string> positional_;
 };
 
+/**
+ * Resolve the shared `--threads N` option used by the bench and
+ * example harnesses to size the parallel explorer: 0 (the default)
+ * means one worker per hardware thread; negative values clamp to 0.
+ */
+std::size_t threadCountOption(const CliArgs &args,
+                              std::size_t fallback = 0);
+
 } // namespace cxl
 
 #endif // CXL_SUPPORT_CLI_HH

@@ -34,6 +34,53 @@ TEST(StateStore, InsertDeduplicates)
     EXPECT_EQ(store.entry(ib).depth, 1);
 }
 
+TEST(StateStore, DepthWiderThanSixteenBits)
+{
+    // ExploreOptions::maxDepth defaults to 60000 and callers may
+    // raise it; entry depths beyond 65535 must survive unclamped
+    // (Entry::depth was once uint16_t and silently wrapped here).
+    StateStore store;
+    SystemState parent_state = initialAllInvalid();
+    SystemState child_state = initialBothShared(2);
+
+    auto [parent, pnew] =
+        store.insert(parent_state, StateStore::kNoParent, 0, 65535);
+    auto [child, cnew] = store.insert(child_state, parent, 1, 70000);
+    ASSERT_TRUE(pnew);
+    ASSERT_TRUE(cnew);
+    EXPECT_EQ(store.entry(parent).depth, 65535u);
+    EXPECT_EQ(store.entry(child).depth, 70000u);
+    EXPECT_EQ(store.entry(child).parent, parent);
+}
+
+TEST(StateStore, PackedIdsRoundTripAcrossShards)
+{
+    // Ids are (shard, offset) pairs; whatever shard the fingerprint
+    // routes to, entry(id) must return the inserted state and no id
+    // may collide with the kNoParent sentinel.
+    StateStore store;
+    std::vector<std::pair<std::uint32_t, SystemState>> inserted;
+    for (int i = 0; i < 64; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i);
+        s.dev[0].pc = static_cast<std::uint8_t>(i % 5);
+        auto [idx, is_new] =
+            store.insert(s, StateStore::kNoParent, 0, 0);
+        ASSERT_TRUE(is_new);
+        ASSERT_NE(idx, StateStore::kNoParent);
+        inserted.emplace_back(idx, s);
+    }
+    bool multiple_shards = false;
+    for (const auto &[idx, s] : inserted) {
+        EXPECT_TRUE(store.entry(idx).state == s);
+        if (StateStore::shardOf(idx) != StateStore::shardOf(inserted[0].first))
+            multiple_shards = true;
+    }
+    EXPECT_TRUE(multiple_shards)
+        << "64 distinct fingerprints should spread across shards";
+    EXPECT_EQ(store.size(), 64u);
+}
+
 TEST(StateStore, GrowsPastInitialCapacity)
 {
     StateStore store(16);
@@ -110,6 +157,8 @@ TEST_F(ExplorerTest, MaxStatesLimitStopsExploration)
     Explorer ex(rules, sc, invariants);
     ExploreOptions opt;
     opt.maxStates = 100;
+    opt.numThreads = 1; // exact stopping point; see the parallel
+                        // overshoot test in test_parallel_explorer.cc
     ExploreResult res = ex.run(opt);
     EXPECT_FALSE(res.completed);
     EXPECT_LE(res.numStates, 101u);
