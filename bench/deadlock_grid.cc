@@ -44,21 +44,30 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    const int devices = deviceCountOption(args, kMaxDevices);
 
-    bench::banner("Deadlock freedom over the program grid "
-                  "(extension; paper Section 8 scopes this out)");
+    bench::banner("Deadlock freedom over the program grid, " +
+                  std::to_string(devices) +
+                  " devices (extension; paper Section 8 scopes this "
+                  "out)");
+    if (devices > 2) {
+        std::printf("(programs race on devices 1 and 2; devices 3..%d "
+                    "hold no instructions\nbut participate in every "
+                    "snoop/grant flow)\n",
+                    devices);
+    }
 
     ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    InvariantSet invariants = InvariantSet::full(config);
+    RuleSet rules(config, devices);
+    InvariantSet invariants = InvariantSet::full(config, devices);
 
     struct Init {
         const char *name;
         SystemState state;
     };
     const Init inits[] = {
-        {"all-invalid", initialAllInvalid(0)},
-        {"all-shared", initialBothShared(0)},
+        {"all-invalid", initialAllInvalid(0, devices)},
+        {"all-shared", initialBothShared(0, devices)},
     };
 
     TextTable table({"initial state", "program pairs", "total states",

@@ -18,22 +18,27 @@
 #include "bench_common.hh"
 #include "obligation/matrix.hh"
 #include "obligation/universe.hh"
+#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliArgs args(argc, argv);
+    const int devices = deviceCountOption(args, kMaxDevices);
+
     bench::banner("Proof-obligation matrix (paper Fig. 1): "
-                  "inv(s) ∧ rule_i(s,s') ⟹ inv_j(s')");
+                  "inv(s) ∧ rule_i(s,s') ⟹ inv_j(s'), " +
+                  std::to_string(devices) + " devices");
 
     ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario scenario = Scenario::freeRunScenario();
+    RuleSet rules(config, devices);
+    Scenario scenario = Scenario::freeRunScenario(devices);
 
     // --- 1. The paper's Section 6 counterexample -----------------------
-    SystemState witness = swmrNonInductiveWitness(0);
+    SystemState witness = swmrNonInductiveWitness(0, devices);
     Context ctx{&scenario};
     const Rule *ima_go = rules.find("IMA_GO1");
     SystemState post = witness;
@@ -53,10 +58,10 @@ main()
         const char *name;
         InvariantSet inv;
     };
-    InvariantSet full = InvariantSet::full(config);
+    InvariantSet full = InvariantSet::full(config, devices);
     std::vector<Iteration> iterations;
     iterations.push_back({"it0: SWMR only (Def. 6.1)",
-                          InvariantSet::swmrOnly()});
+                          InvariantSet::swmrOnly(devices)});
     iterations.push_back(
         {"it1: + paper's 4 sample families",
          full.filtered({"swmr", "transient_swmr", "snoop_honesty",

@@ -25,11 +25,46 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    const int devices = deviceCountOption(args, kMaxDevices);
     ExploreOptions opt;
     opt.numThreads = threadCountOption(args);
+    // An explicit --max-states opts into prefix semantics: capped
+    // runs report the verdict for the explored prefix and still count
+    // as a pass.  Without it, hitting the built-in cap is a failure
+    // (the verification did not finish).
+    const bool user_capped = args.has("max-states");
+    if (user_capped) {
+        const std::int64_t n = args.getInt("max-states", 0);
+        if (n < 1) {
+            std::fprintf(stderr,
+                         "--max-states %lld out of range (want >= 1)\n",
+                         static_cast<long long>(n));
+            return 2;
+        }
+        opt.maxStates = static_cast<std::uint64_t>(n);
+        // Cap-truncated runs stop at a thread-dependent point
+        // (ExploreOptions::numThreads), so the sweep's bit-identical
+        // comparison is meaningless under a cap.
+        if (args.has("sweep")) {
+            std::fprintf(stderr, "--sweep is incompatible with "
+                                 "--max-states: capped counts are "
+                                 "thread-dependent\n");
+            return 2;
+        }
+    }
+    // Beyond the paper's two devices the raw space grows steeply;
+    // device-permutation symmetry reduction keeps it enumerable and
+    // is switched on by default there (force with --sym, compare
+    // against the unreduced space with --no-sym).
+    opt.symmetryReduction =
+        (devices > 2 || args.has("sym")) && !args.has("no-sym");
 
-    bench::banner("Theorem 6.2 (SWMR): exhaustive reachability over "
-                  "the two-device, one-location model");
+    bench::banner(
+        "Theorem 6.2 (SWMR): exhaustive reachability over the " +
+        std::to_string(devices) + "-device, one-location model" +
+        (opt.symmetryReduction ? " (device-permutation symmetry "
+                                 "reduction on)"
+                               : ""));
 
     struct Case {
         const char *name;
@@ -66,13 +101,16 @@ main(int argc, char **argv)
 
     bool all_ok = true;
     for (const Case &c : cases) {
-        RuleSet rules(c.config);
-        Scenario scenario = Scenario::freeRunScenario();
-        InvariantSet invariants = InvariantSet::full(c.config);
+        RuleSet rules(c.config, devices);
+        Scenario scenario = Scenario::freeRunScenario(devices);
+        InvariantSet invariants = InvariantSet::full(c.config, devices);
         Explorer ex(rules, scenario, invariants);
         ExploreResult res = ex.run(opt);
 
-        bool ok = res.completed && !res.violation;
+        // A run truncated by an explicit --max-states without a
+        // violation reports SWMR holding on the explored prefix.
+        const bool capped = !res.completed && !res.violation;
+        bool ok = !res.violation && (res.completed || user_capped);
         all_ok &= ok;
         char time_txt[32], rate_txt[32];
         std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
@@ -86,29 +124,36 @@ main(int argc, char **argv)
                       std::to_string(res.numStates),
                       std::to_string(res.numTransitions),
                       std::to_string(res.maxDepth), time_txt, rate_txt,
-                      ok ? "HOLDS everywhere"
-                         : res.violation->describe()});
+                      res.violation ? res.violation->describe()
+                      : !capped     ? "HOLDS everywhere"
+                      : user_capped ? "holds (maxStates cap hit)"
+                                    : "INCOMPLETE (built-in cap)"});
     }
     std::printf("%s", table.render().c_str());
 
-    // Symmetry-reduced run of the default configuration (extension):
-    // device-permutation canonicalisation roughly halves the space.
+    // The default configuration with the opposite symmetry setting,
+    // for the reduction-factor comparison: device-permutation
+    // canonicalisation divides the space by up to ndev!.
     {
         ProtocolConfig config = ProtocolConfig::correct();
-        RuleSet rules(config);
-        Scenario scenario = Scenario::freeRunScenario();
-        InvariantSet invariants = InvariantSet::full(config);
+        RuleSet rules(config, devices);
+        Scenario scenario = Scenario::freeRunScenario(devices);
+        InvariantSet invariants = InvariantSet::full(config, devices);
         Explorer ex(rules, scenario, invariants);
-        ExploreOptions sym_opt = opt;
-        sym_opt.symmetryReduction = true;
-        ExploreResult res = ex.run(sym_opt);
-        std::printf("\nwith device-permutation symmetry reduction "
+        ExploreOptions alt_opt = opt;
+        alt_opt.symmetryReduction = !opt.symmetryReduction;
+        ExploreResult res = ex.run(alt_opt);
+        std::printf("\n%s device-permutation symmetry reduction "
                     "(default config): %llu states (%s)\n",
+                    alt_opt.symmetryReduction ? "with" : "without",
                     static_cast<unsigned long long>(res.numStates),
-                    res.completed && !res.violation
+                    res.violation ? "UNEXPECTED violation"
+                    : !res.completed
+                        ? "maxStates cap hit"
+                    : alt_opt.symmetryReduction
                         ? "invariant holds on every orbit"
-                        : "UNEXPECTED");
-        all_ok &= res.completed && !res.violation;
+                        : "invariant holds everywhere");
+        all_ok &= !res.violation && (res.completed || user_capped);
     }
 
     std::printf(
@@ -158,9 +203,9 @@ main(int argc, char **argv)
             1, static_cast<int>(args.getInt("sweep-repeat", 5)));
 
         ProtocolConfig config = ProtocolConfig::correct();
-        RuleSet rules(config);
-        Scenario scenario = Scenario::freeRunScenario();
-        InvariantSet invariants = InvariantSet::full(config);
+        RuleSet rules(config, devices);
+        Scenario scenario = Scenario::freeRunScenario(devices);
+        InvariantSet invariants = InvariantSet::full(config, devices);
         Explorer ex(rules, scenario, invariants);
 
         TextTable sweep({"threads", "states", "transitions",

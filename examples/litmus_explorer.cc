@@ -9,9 +9,11 @@
  *
  * Usage:
  *   litmus_explorer --prog1 LSE --prog2 L [--init shared|invalid|dirty]
+ *                   [--devices N] [--prog3 ...] [--prog4 ...]
  *                   [--list] [--run <name>]
  *
- * Program strings: L = Load, S = Store, E = Evict.
+ * Program strings: L = Load, S = Store, E = Evict (empty = idle
+ * device).
  */
 
 #include <cstdio>
@@ -83,20 +85,41 @@ main(int argc, char **argv)
         }
         return 0;
     }
-    if (args.has("run"))
+    if (args.has("run")) {
+        if (args.has("devices")) {
+            std::fprintf(stderr, "--devices is ignored with --run: "
+                                 "named tests fix their own device "
+                                 "count\n");
+        }
         return runNamed(args.get("run", ""));
+    }
+
+    const int devices = deviceCountOption(args, kMaxDevices);
+    for (int d = devices; d < kMaxDevices; ++d) {
+        const std::string flag = "prog" + std::to_string(d + 1);
+        if (args.has(flag)) {
+            std::fprintf(stderr,
+                         "--%s given but only %d device(s) active; "
+                         "raise --devices\n",
+                         flag.c_str(), devices);
+            return 2;
+        }
+    }
 
     Scenario sc;
     sc.name = "custom";
     std::string init = args.get("init", "invalid");
     if (init == "shared")
-        sc.initial = initialBothShared(0);
+        sc.initial = initialBothShared(0, devices);
     else if (init == "dirty")
-        sc.initial = initialOneModified(0, 1, 0);
+        sc.initial = initialOneModified(0, 1, 0, devices);
     else
-        sc.initial = initialAllInvalid(0);
-    sc.program[0] = parseProgram(args.get("prog1", "S"));
-    sc.program[1] = parseProgram(args.get("prog2", "L"));
+        sc.initial = initialAllInvalid(0, devices);
+    for (int d = 0; d < devices; ++d) {
+        const std::string flag = "prog" + std::to_string(d + 1);
+        const char *fallback = d == 0 ? "S" : d == 1 ? "L" : "";
+        sc.program[d] = parseProgram(args.get(flag, fallback));
+    }
 
     LitmusTest test;
     test.name = sc.name;

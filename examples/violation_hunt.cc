@@ -10,6 +10,7 @@
  * Usage:
  *   violation_hunt [--mutation snoop_pushes_go|smad_guard|go_tailgate|
  *                              one_snoop] [--families swmr,...]
+ *                  [--devices N]   (model size, default 2)
  *                  [--threads N]   (0 = all hardware threads)
  */
 
@@ -44,9 +45,11 @@ main(int argc, char **argv)
         return 2;
     }
 
-    RuleSet rules(config);
-    Scenario scenario = Scenario::freeRunScenario();
-    InvariantSet invariants = InvariantSet::full(config);
+    const int devices = deviceCountOption(args, kMaxDevices);
+
+    RuleSet rules(config, devices);
+    Scenario scenario = Scenario::freeRunScenario(devices);
+    InvariantSet invariants = InvariantSet::full(config, devices);
 
     // Optionally narrow the hunt to specific conjunct families
     // (e.g. --families swmr reproduces the pure Table 3 violation).

@@ -146,11 +146,13 @@ Explorer::run(const ExploreOptions &options)
     auto symmetry_canon = [&options](SystemState &s) {
         if (!options.symmetryReduction)
             return;
-        SystemState swapped = s.swappedDevices();
-        if (options.canonicaliseTids)
-            swapped.canonicaliseTids();
-        if (swapped.bytewiseLess(s))
-            s = swapped;
+        // Map the state to the bytewise-least member of its
+        // device-permutation orbit (all ndev! relabelings, device ids
+        // in store values and tids remapped along).  Successors (and
+        // the initial state) were already tid-canonicalised whenever
+        // the option is on, so the identity image skips the rescan.
+        s = s.deviceCanonical(options.canonicaliseTids,
+                              options.canonicaliseTids);
     };
 
     SystemState init = scenario_.initial;
@@ -195,9 +197,10 @@ Explorer::run(const ExploreOptions &options)
     for (WorkerScratch &s : scratch)
         s.ruleFires.assign(rules_.rules().size(), 0);
 
+    // Constructed lazily at the first level that actually goes
+    // parallel: small explorations (e.g. the deadlock grid's hundreds
+    // of tiny program-pair runs) never pay for spawning workers.
     std::optional<ThreadPool> pool;
-    if (threads > 1)
-        pool.emplace(threads);
 
     std::uint32_t depth = 0;
     bool cap_stopped = false;
@@ -313,6 +316,8 @@ Explorer::run(const ExploreOptions &options)
         const bool parallel =
             threads > 1 && frontier.size() >= 2 * threads;
         if (parallel) {
+            if (!pool)
+                pool.emplace(threads);
             for (std::size_t t = 0; t < threads; ++t)
                 pool->submit([&, t] { work(scratch[t]); });
             pool->wait();

@@ -43,9 +43,12 @@ struct ExploreOptions {
 
     /**
      * Identify device-permutation-symmetric states (classic Murphi
-     * scalarset reduction).  Only sound when the scenario itself is
-     * device-symmetric (free-run, or identical programs from a
-     * symmetric initial state).
+     * scalarset reduction): every generated state is replaced by the
+     * canonical representative of its orbit under all ndev! device
+     * permutations (SystemState::deviceCanonical).  Only sound when
+     * the scenario itself is device-symmetric (free-run, or identical
+     * programs from a symmetric initial state).  This is what keeps
+     * 3-4 device free-run spaces enumerable.
      */
     bool symmetryReduction = false;
 

@@ -86,8 +86,24 @@ almostM(const DeviceState &d)
            hasGoTo(d, DState::M);
 }
 
+/**
+ * True for every active device index other than @p i for which
+ * @p pred fails; i.e. "for all other devices o: pred(o)".
+ */
+template <typename Pred>
+bool
+forAllOthers(const SystemState &s, int i, Pred pred)
+{
+    for (int o = 0; o < s.ndev; ++o) {
+        if (o != i && !pred(o))
+            return false;
+    }
+    return true;
+}
+
 struct ConjunctBuilder {
     std::vector<Conjunct> conjuncts;
+    int numDevices = kDefaultNumDevices;
 
     void
     add(const std::string &name, const std::string &family,
@@ -103,14 +119,14 @@ struct ConjunctBuilder {
         conjuncts.push_back(std::move(c));
     }
 
-    /** Instantiate a per-device conjunct for both devices. */
+    /** Instantiate a per-device conjunct for every active device. */
     void
     addPerDevice(const std::string &base, const std::string &family,
                  const std::string &description,
                  std::function<bool(const SystemState &, int,
                                     const Context &)> holds)
     {
-        for (int d = 0; d < kNumDevices; ++d) {
+        for (int d = 0; d < numDevices; ++d) {
             add(base + "_d" + std::to_string(d + 1), family, description,
                 [holds, d](const SystemState &s, const Context &ctx) {
                     return holds(s, d, ctx);
@@ -123,12 +139,14 @@ void
 addSwmrFamily(ConjunctBuilder &b)
 {
     b.addPerDevice("swmr", "swmr",
-        "Definition 6.1: if this device has write access, the other "
-        "device has neither read nor write access.",
+        "Definition 6.1: if this device has write access, no other "
+        "device has read or write access.",
         [](const SystemState &s, int i, const Context &) {
-            int o = SystemState::other(i);
-            return !(hasWriteAccess(s.dev[i].state) &&
-                     hasReadAccess(s.dev[o].state));
+            if (!hasWriteAccess(s.dev[i].state))
+                return true;
+            return forAllOthers(s, i, [&s](int o) {
+                return !hasReadAccess(s.dev[o].state);
+            });
         });
 }
 
@@ -138,35 +156,38 @@ addTransientSwmrFamily(ConjunctBuilder &b)
     // Paper Section 6, first sample conjunct: transient states need
     // SWMR-like constraints too.
     b.addPerDevice("transient_swmr", "transient_swmr",
-        "If this device is almost-M (grant no longer revocable) and no "
-        "SnpInv is heading to the other device, the other device holds "
-        "nothing valid and nothing valid is in flight to it.",
+        "If this device is almost-M (grant no longer revocable), every "
+        "other device either has a SnpInv heading to it, or holds "
+        "nothing valid with nothing valid in flight to it.",
         [](const SystemState &s, int i, const Context &) {
-            const DeviceState &di = s.dev[i];
-            const DeviceState &d_o = s.dev[SystemState::other(i)];
-            if (!almostM(di))
+            if (!almostM(s.dev[i]))
                 return true;
-            bool snoop_coming = !d_o.h2dReq.empty() &&
-                                d_o.h2dReq.front().op == H2DReqOp::SnpInv;
-            if (snoop_coming)
-                return true;
-            bool other_invalid =
-                !inSet(d_o.state,
-                       {DState::ISD, DState::IMD, DState::SMD,
-                        DState::ISA, DState::IMA, DState::SMA, DState::S,
-                        DState::M}) &&
-                d_o.h2dData.empty() &&
-                (!inSet(d_o.state,
-                        {DState::ISAD, DState::IMAD, DState::SMAD}) ||
-                 d_o.h2dRsp.empty());
-            return other_invalid;
+            return forAllOthers(s, i, [&s](int o) {
+                const DeviceState &d_o = s.dev[o];
+                bool snoop_coming =
+                    !d_o.h2dReq.empty() &&
+                    d_o.h2dReq.front().op == H2DReqOp::SnpInv;
+                if (snoop_coming)
+                    return true;
+                return !inSet(d_o.state,
+                              {DState::ISD, DState::IMD, DState::SMD,
+                               DState::ISA, DState::IMA, DState::SMA,
+                               DState::S, DState::M}) &&
+                       d_o.h2dData.empty() &&
+                       (!inSet(d_o.state, {DState::ISAD, DState::IMAD,
+                                           DState::SMAD}) ||
+                        d_o.h2dRsp.empty());
+            });
         });
 
     b.addPerDevice("single_owner_grant", "transient_swmr",
         "At most one device is almost-M at a time.",
         [](const SystemState &s, int i, const Context &) {
-            int o = SystemState::other(i);
-            return !(almostM(s.dev[i]) && almostM(s.dev[o]));
+            if (!almostM(s.dev[i]))
+                return true;
+            return forAllOthers(s, i, [&s](int o) {
+                return !almostM(s.dev[o]);
+            });
         });
 }
 
@@ -235,7 +256,10 @@ addChannelShapeFamily(ConjunctBuilder &b)
         "The host has at most one snoop outstanding in the whole "
         "system (CXL 3.1 S3.2.5.5 plus single-transaction host).",
         [](const SystemState &s, const Context &) {
-            return s.dev[0].h2dReq.size() + s.dev[1].h2dReq.size() <= 1;
+            std::size_t total = 0;
+            for (int i = 0; i < s.ndev; ++i)
+                total += s.dev[i].h2dReq.size();
+            return total <= 1;
         });
 }
 
@@ -245,12 +269,14 @@ addDataConflictFamily(ConjunctBuilder &b)
     // Paper Section 6, fourth sample conjunct.
     b.addPerDevice("data_no_conflict", "data_conflict",
         "Host and device data channels must not conflict: writeback "
-        "data from one device and grant data to the other are never "
+        "data from one device and grant data to another are never "
         "simultaneously in flight.",
         [](const SystemState &s, int i, const Context &) {
-            int o = SystemState::other(i);
-            return !(hasCleanData(s.dev[i]) &&
-                     !s.dev[o].h2dData.empty());
+            if (!hasCleanData(s.dev[i]))
+                return true;
+            return forAllOthers(s, i, [&s](int o) {
+                return s.dev[o].h2dData.empty();
+            });
         });
 }
 
@@ -262,7 +288,10 @@ addDirectoryFamily(ConjunctBuilder &b)
         [](const SystemState &s, const Context &) {
             if (s.hstate != HState::M)
                 return true;
-            return ownerView(s, 0) != ownerView(s, 1);
+            int owners = 0;
+            for (int i = 0; i < s.ndev; ++i)
+                owners += ownerView(s, i) ? 1 : 0;
+            return owners == 1;
         });
 
     b.add("dir_s_no_owner", "directory",
@@ -270,7 +299,11 @@ addDirectoryFamily(ConjunctBuilder &b)
         [](const SystemState &s, const Context &) {
             if (s.hstate != HState::S)
                 return true;
-            return !ownerView(s, 0) && !ownerView(s, 1);
+            for (int i = 0; i < s.ndev; ++i) {
+                if (ownerView(s, i))
+                    return false;
+            }
+            return true;
         });
 
     b.add("dir_s_some_sharer", "directory",
@@ -278,7 +311,11 @@ addDirectoryFamily(ConjunctBuilder &b)
         [](const SystemState &s, const Context &) {
             if (s.hstate != HState::S)
                 return true;
-            return sharerView(s, 0) || sharerView(s, 1);
+            for (int i = 0; i < s.ndev; ++i) {
+                if (sharerView(s, i))
+                    return true;
+            }
+            return false;
         });
 
     b.addPerDevice("dir_i_nothing_valid", "directory",
@@ -334,7 +371,7 @@ addHostTransientFamily(ConjunctBuilder &b)
         [](const SystemState &s, const Context &) {
             if (s.hstate != HState::ID)
                 return true;
-            for (int i = 0; i < kNumDevices; ++i) {
+            for (int i = 0; i < s.ndev; ++i) {
                 if (hasRsp(s.dev[i], H2DRspOp::GO_WritePull) ||
                     hasCleanData(s.dev[i])) {
                     return true;
@@ -348,7 +385,7 @@ addHostTransientFamily(ConjunctBuilder &b)
         [](const SystemState &s, const Context &) {
             if (s.hstate != HState::SB)
                 return true;
-            for (int i = 0; i < kNumDevices; ++i) {
+            for (int i = 0; i < s.ndev; ++i) {
                 if (hasRsp(s.dev[i], H2DRspOp::GO_WritePull) ||
                     hasCleanData(s.dev[i])) {
                     return true;
@@ -535,32 +572,23 @@ addOrderingFamily(ConjunctBuilder &b)
         });
 
     b.addPerDevice("ma_requester_shape", "ordering",
-        "In MA/MAD with the snooped device identified by its pending "
-        "response, the other device is an ownership requester.",
+        "In MA/MAD the tracked requester is an ownership requester.",
         [](const SystemState &s, int i, const Context &) {
-            int o = SystemState::other(i);
             if (s.hstate != HState::MA && s.hstate != HState::MAD)
                 return true;
-            if (s.dev[o].d2hRsp.empty() && s.dev[o].h2dReq.empty())
+            if (s.requester() != i)
                 return true;
             return inSet(s.dev[i].state, {DState::IMAD, DState::SMAD,
                                           DState::IMA, DState::SMA});
         });
 
     b.addPerDevice("sad_requester_shape", "ordering",
-        "In SAD/SD with the snooped device identified, the other "
-        "device is a share requester.",
+        "In SAD/SD the tracked requester is a share requester.",
         [](const SystemState &s, int i, const Context &) {
-            int o = SystemState::other(i);
             if (s.hstate != HState::SAD && s.hstate != HState::SD)
                 return true;
-            // Identify the snooped device by its pending snoop,
-            // response, or forwarded (non-bogus) data; a bogus
-            // leftover from an old eviction is not identification.
-            if (s.dev[o].d2hRsp.empty() && s.dev[o].h2dReq.empty() &&
-                !hasCleanData(s.dev[o])) {
+            if (s.requester() != i)
                 return true;
-            }
             return s.dev[i].state == DState::ISAD;
         });
 }
@@ -714,16 +742,39 @@ addTidFamily(ConjunctBuilder &b)
         });
 }
 
+void
+addHostTrackingFamily(ConjunctBuilder &b)
+{
+    // The explicit requester tracking introduced by the N-device
+    // generalisation: hreq names the device the in-flight directory
+    // transaction serves, exactly while one is in flight.
+
+    b.add("hreq_transient", "host_tracking",
+        "The host tracks a requester exactly while the directory is "
+        "mid-transaction (hstate transient).",
+        [](const SystemState &s, const Context &) {
+            bool transient = !isStable(s.hstate);
+            return transient == (s.hreq != 0);
+        });
+
+    b.add("hreq_range", "host_tracking",
+        "The tracked requester is an active device.",
+        [](const SystemState &s, const Context &) {
+            return s.hreq <= s.ndev;
+        });
+}
+
 } // namespace
 
 bool
 swmrHolds(const SystemState &s)
 {
-    for (int i = 0; i < kNumDevices; ++i) {
-        int o = SystemState::other(i);
-        if (hasWriteAccess(s.dev[i].state) &&
-            hasReadAccess(s.dev[o].state)) {
-            return false;
+    for (int i = 0; i < s.ndev; ++i) {
+        if (!hasWriteAccess(s.dev[i].state))
+            continue;
+        for (int o = 0; o < s.ndev; ++o) {
+            if (o != i && hasReadAccess(s.dev[o].state))
+                return false;
         }
     }
     return true;
@@ -735,9 +786,10 @@ InvariantSet::InvariantSet(std::vector<Conjunct> conjuncts)
 }
 
 InvariantSet
-InvariantSet::full(const ProtocolConfig &config)
+InvariantSet::full(const ProtocolConfig &config, int numDevices)
 {
     ConjunctBuilder b;
+    b.numDevices = numDevices;
     addSwmrFamily(b);
     addTransientSwmrFamily(b);
     addSnoopHonestyFamily(b);
@@ -757,6 +809,7 @@ InvariantSet::full(const ProtocolConfig &config)
     addBufferFamily(b);
     addDataValueFamily(b);
     addTidFamily(b);
+    addHostTrackingFamily(b);
 
     // Re-number after conditional families.
     for (std::size_t i = 0; i < b.conjuncts.size(); ++i)
@@ -765,9 +818,10 @@ InvariantSet::full(const ProtocolConfig &config)
 }
 
 InvariantSet
-InvariantSet::swmrOnly()
+InvariantSet::swmrOnly(int numDevices)
 {
     ConjunctBuilder b;
+    b.numDevices = numDevices;
     addSwmrFamily(b);
     return InvariantSet(std::move(b.conjuncts));
 }

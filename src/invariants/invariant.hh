@@ -51,12 +51,15 @@ class InvariantSet
      * conjuncts hold only for particular spec-fix toggles (e.g. the
      * paper's "host and device data channels must not conflict" needs
      * the Section 4.4 stale-evict drop); the builder includes exactly
-     * the conjuncts valid for @p config.
+     * the conjuncts valid for @p config.  Per-device conjuncts are
+     * instantiated once per active device; pairwise statements
+     * quantify over every other active device internally.
      */
-    static InvariantSet full(const ProtocolConfig &config);
+    static InvariantSet full(const ProtocolConfig &config,
+                             int numDevices = kDefaultNumDevices);
 
     /** Just SWMR — demonstrably *not* inductive (paper Section 6). */
-    static InvariantSet swmrOnly();
+    static InvariantSet swmrOnly(int numDevices = kDefaultNumDevices);
 
     /** The subset of this set whose families are in @p families. */
     InvariantSet
@@ -91,8 +94,9 @@ class InvariantSet
 };
 
 /**
- * The SWMR property alone (paper Definition 6.1): no device has write
- * access while the other has read or write access.
+ * The SWMR property alone (paper Definition 6.1), quantified over all
+ * active device pairs: no device has write access while another has
+ * read or write access.
  */
 bool swmrHolds(const SystemState &s);
 

@@ -14,8 +14,9 @@ runLitmus(const LitmusTest &test)
 {
     LitmusOutcome outcome;
 
-    RuleSet rules(test.config);
-    InvariantSet invariants = InvariantSet::full(test.config);
+    RuleSet rules(test.config, test.scenario.numDevices());
+    InvariantSet invariants =
+        InvariantSet::full(test.config, test.scenario.numDevices());
     if (!test.restrictToFamilies.empty())
         invariants = invariants.filtered(test.restrictToFamilies);
     Context ctx{&test.scenario};

@@ -117,7 +117,7 @@ deriveMscEvents(const std::vector<GuidedStep> &steps)
     for (std::size_t i = 1; i < steps.size(); ++i) {
         const SystemState &prev = steps[i - 1].state;
         const SystemState &next = steps[i].state;
-        for (int d = 0; d < kNumDevices; ++d)
+        for (int d = 0; d < prev.ndev; ++d)
             diffDevice(prev, next, d, steps[i].ruleName, events);
         if (prev.hstate != next.hstate) {
             events.push_back({MscEvent::Kind::Note, -1,

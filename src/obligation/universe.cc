@@ -48,9 +48,12 @@ SystemState
 perturb(const SystemState &seed, SplitMix64 &rng)
 {
     SystemState s = seed;
+    // Value perturbations draw from the run's value domain: 0 plus
+    // one device-deterministic store value per active device.
+    const std::uint32_t val_domain = s.ndev + 1u;
     int edits = 1 + static_cast<int>(rng.below(3));
     for (int e = 0; e < edits; ++e) {
-        int d = static_cast<int>(rng.below(kNumDevices));
+        int d = static_cast<int>(rng.below(s.ndev));
         DeviceState &dev = s.dev[d];
         switch (rng.below(9)) {
           case 0:
@@ -60,12 +63,19 @@ perturb(const SystemState &seed, SplitMix64 &rng)
           case 1:
             s.hstate = hstateFromIndex(
                 static_cast<int>(rng.below(kNumHStates)));
+            // Keep the requester tracking consistent with the flipped
+            // directory state, so transient perturbations can pass
+            // the host_tracking filter.
+            s.hreq = isStable(s.hstate)
+                         ? 0
+                         : static_cast<std::uint8_t>(
+                               1 + rng.below(s.ndev));
             break;
           case 2:
-            dev.val = static_cast<Val>(rng.below(3));
+            dev.val = static_cast<Val>(rng.below(val_domain));
             break;
           case 3:
-            s.hval = static_cast<Val>(rng.below(3));
+            s.hval = static_cast<Val>(rng.below(val_domain));
             break;
           case 4: // inject or remove an H2D response
             if (!dev.h2dRsp.empty() && rng.chance(1, 2)) {
@@ -106,14 +116,14 @@ perturb(const SystemState &seed, SplitMix64 &rng)
                 else if (!dev.h2dData.full())
                     dev.h2dData.pushBack(
                         {static_cast<Tid>(rng.below(4)),
-                         static_cast<Val>(rng.below(3)), 0});
+                         static_cast<Val>(rng.below(val_domain)), 0});
             } else {
                 if (!dev.d2hData.empty() && rng.chance(1, 2))
                     dev.d2hData.popFront();
                 else if (!dev.d2hData.full())
                     dev.d2hData.pushBack(
                         {static_cast<Tid>(rng.below(4)),
-                         static_cast<Val>(rng.below(3)),
+                         static_cast<Val>(rng.below(val_domain)),
                          static_cast<std::uint8_t>(rng.below(2))});
             }
             break;
@@ -181,13 +191,13 @@ buildUniverse(const RuleSet &rules, const Scenario &scenario,
 }
 
 SystemState
-swmrNonInductiveWitness(int d)
+swmrNonInductiveWitness(int d, int num_devices)
 {
     // Paper Section 6: Σ = ⟨DCache1 = (0, IMA),
     //                      H2DRsp1 = [(GO, M, t)],
     //                      DCache2 = (0, M)⟩.
-    SystemState s;
-    int o = SystemState::other(d);
+    SystemState s = initialAllInvalid(0, num_devices);
+    int o = (d + 1) % num_devices;
     s.dev[d].state = DState::IMA;
     s.dev[d].h2dRsp.pushBack({H2DRspOp::GO, DState::M, 0});
     s.dev[o].state = DState::M;

@@ -64,11 +64,13 @@ buildUniverse(const RuleSet &rules, const Scenario &scenario,
 
 /**
  * The paper's Section 6 counterexample to the inductiveness of bare
- * SWMR: device @p d is in IMA with its GO-M in flight while the other
- * device still owns the line.  Satisfies SWMR; one rule firing
- * violates it.
+ * SWMR: device @p d is in IMA with its GO-M in flight while the next
+ * device still owns the line (the remaining devices, if any, hold
+ * nothing).  Satisfies SWMR; one rule firing violates it.
  */
-SystemState swmrNonInductiveWitness(int d = 0);
+SystemState swmrNonInductiveWitness(int d = 0,
+                                    int num_devices =
+                                        kDefaultNumDevices);
 
 } // namespace cxl
 

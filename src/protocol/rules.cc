@@ -1,6 +1,7 @@
 #include "protocol/rules.hh"
 
 #include <algorithm>
+#include <cassert>
 
 namespace cxl
 {
@@ -60,12 +61,34 @@ goSendAllowed(const SystemState &s, int i)
     return d.h2dReq.empty() && d.d2hRsp.empty() && d.d2hData.empty();
 }
 
-RuleSet::RuleSet(ProtocolConfig config) : config_(config)
+bool
+anyOtherSharer(const SystemState &s, int i)
 {
-    for (int d = 0; d < kNumDevices; ++d)
+    for (int k = 0; k < s.ndev; ++k) {
+        if (k != i && sharerView(s, k))
+            return true;
+    }
+    return false;
+}
+
+bool
+otherGrantDataDrained(const SystemState &s, int i)
+{
+    for (int k = 0; k < s.ndev; ++k) {
+        if (k != i && !s.dev[k].h2dData.empty())
+            return false;
+    }
+    return true;
+}
+
+RuleSet::RuleSet(ProtocolConfig config, int numDevices)
+    : config_(config), num_devices_(numDevices)
+{
+    assert(numDevices >= 1 && numDevices <= kMaxDevices);
+    for (int d = 0; d < num_devices_; ++d)
         addDeviceRules(rules_, d, config_);
-    for (int d = 0; d < kNumDevices; ++d)
-        addHostRules(rules_, d, config_);
+    for (int d = 0; d < num_devices_; ++d)
+        addHostRules(rules_, d, config_, num_devices_);
     for (std::size_t i = 0; i < rules_.size(); ++i)
         rules_[i].id = static_cast<std::uint16_t>(i);
 }

@@ -62,10 +62,14 @@ class RuleSet
         bool overflow;
     };
 
-    explicit RuleSet(ProtocolConfig config);
+    explicit RuleSet(ProtocolConfig config,
+                     int numDevices = kDefaultNumDevices);
 
     const std::vector<Rule> &rules() const { return rules_; }
     const ProtocolConfig &config() const { return config_; }
+
+    /** Device count the rules were instantiated for. */
+    int numDevices() const { return num_devices_; }
 
     /** Number of rules excluding mutation-only rules. */
     std::size_t baseRuleCount() const;
@@ -102,6 +106,7 @@ class RuleSet
 
   private:
     ProtocolConfig config_;
+    int num_devices_;
     std::vector<Rule> rules_;
 };
 
@@ -109,9 +114,11 @@ class RuleSet
 void addDeviceRules(std::vector<Rule> &rules, int d,
                     const ProtocolConfig &config);
 
-/// Internal: populate host-side rules serving device @p d (0-based).
+/// Internal: populate host-side rules serving requester/evicter
+/// @p d (0-based), with snoop targets ranging over the other
+/// @p num_devices - 1 devices.
 void addHostRules(std::vector<Rule> &rules, int d,
-                  const ProtocolConfig &config);
+                  const ProtocolConfig &config, int num_devices);
 
 // --- Tracking-view helpers (paper Section 8, "perfect tracking") ----
 
@@ -133,6 +140,18 @@ bool ownerView(const SystemState &s, int j);
  * D2H Response and D2H Data channels of @p i are all empty.
  */
 bool goSendAllowed(const SystemState &s, int i);
+
+/** True iff any active device other than @p i is a tracked sharer. */
+bool anyOtherSharer(const SystemState &s, int i);
+
+/**
+ * True iff no grant/forward data is in flight to any active device
+ * other than @p i.  Gates ownership grants: a GO-M must not be sent
+ * while shareable data still travels to some other device (the
+ * paper's first Section 6 sample conjunct, generalised from "the
+ * snooped device" to all peers).
+ */
+bool otherGrantDataDrained(const SystemState &s, int i);
 
 } // namespace cxl
 

@@ -2,9 +2,9 @@
  * @file
  * Device-side transition rules (paper Fig. 4, left-hand components).
  *
- * Each rule template is instantiated for both devices.  Names carry a
- * 1-based device suffix to match the paper's tables (InvalidLoad1,
- * SharedSnpInv1, MIA_GO_WritePull1, ...).
+ * Each rule template is instantiated once per active device.  Names
+ * carry a 1-based device suffix to match the paper's tables
+ * (InvalidLoad1, SharedSnpInv1, MIA_GO_WritePull1, ...).
  */
 
 #include <cassert>
@@ -506,7 +506,7 @@ void
 addDeviceRules(std::vector<Rule> &rules, int d,
                const ProtocolConfig &config)
 {
-    assert(d >= 0 && d < kNumDevices);
+    assert(d >= 0 && d < kMaxDevices);
     RuleBuilder b{rules, d};
 
     addProgramRules(b, config);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Host-side transition rules.
+ * Host-side transition rules, generalised to N devices.
  *
  * The host is home agent and perfect-tracking directory (paper
  * Section 8): HCache.State mirrors the collective device-side state
@@ -9,9 +9,21 @@
  * which is how the GO-cannot-tailgate-snoop restriction of CXL 3.1
  * Section 3.2.5.2 is realised.
  *
- * Rules are named by the *requesting / evicting* device: e.g.
- * HostMA_RspIHitSE1 consumes device 2's snoop response and grants
- * device 1 (matching the paper's MARspIHitI1 in Table 3).
+ * In the paper's two-device model the requester of the in-flight
+ * transaction is always "the other device" and lives implicitly in
+ * the rule instantiation; with N devices it is tracked explicitly in
+ * SystemState::hreq (set when a transient host state is entered,
+ * cleared when the directory returns to a stable state).  Rules that
+ * interact with a snooped peer are instantiated once per ordered
+ * (requester, target) pair; for more than two devices an ownership
+ * grant chains one SnpInv per remaining sharer (one snoop pending at
+ * a time, CXL 3.1 Section 3.2.5.5) before the GO is finally sent.
+ *
+ * Rules are named by the *requesting / evicting* device, exactly as
+ * in the two-device model (HostMA_RspIHitSE1 consumes the snooped
+ * peer's response and grants device 1); with more than two devices a
+ * "_s<target>" (and, for chained snoops, "_n<next>") suffix keeps the
+ * per-pair instances distinct.
  */
 
 #include <cassert>
@@ -41,22 +53,104 @@ headDataClean(const DeviceState &d)
     return !d.d2hData.empty() && !d.d2hData.front().bogus;
 }
 
+/** The requester byte encoding device @p i (hreq is 1-based). */
+constexpr std::uint8_t
+asReq(int i)
+{
+    return static_cast<std::uint8_t>(i + 1);
+}
+
+/**
+ * A sharer other than requester @p i and just-collected target @p o
+ * remains to be invalidated.  Vacuously false in the two-device
+ * model, where the MA acknowledgement always completes the grant.
+ */
+bool
+anyThirdSharer(const SystemState &s, int i, int o)
+{
+    for (int k = 0; k < s.ndev; ++k) {
+        if (k != i && k != o && sharerView(s, k))
+            return true;
+    }
+    return false;
+}
+
 struct HostRuleBuilder {
     std::vector<Rule> &rules;
-    int i; ///< requester / evicter device (0-based)
+    int i;           ///< requester / evicter device (0-based)
+    int numDevices;  ///< active device count
+
+    /** Single construction site for every host rule. */
+    void
+    addNamed(std::string name, bool mutated,
+             std::function<bool(const SystemState &, const Context &)>
+                 guard,
+             std::function<bool(SystemState &, const Context &)> apply)
+    {
+        Rule r;
+        r.name = std::move(name);
+        r.dev = i;
+        r.mutated = mutated;
+        r.guard = std::move(guard);
+        r.apply = std::move(apply);
+        rules.push_back(std::move(r));
+    }
 
     void
     add(const std::string &base, bool mutated,
         std::function<bool(const SystemState &, const Context &)> guard,
         std::function<bool(SystemState &, const Context &)> apply)
     {
-        Rule r;
-        r.name = base + std::to_string(i + 1);
-        r.dev = i;
-        r.mutated = mutated;
-        r.guard = std::move(guard);
-        r.apply = std::move(apply);
-        rules.push_back(std::move(r));
+        addNamed(base + std::to_string(i + 1), mutated,
+                 std::move(guard), std::move(apply));
+    }
+
+    /**
+     * A rule instantiated per (requester i, snoop target o) pair.
+     * Two-device rule sets keep the paper's plain names (the target
+     * is determined); larger ones disambiguate with a suffix.
+     */
+    void
+    addPair(const std::string &base, int o, bool mutated,
+            std::function<bool(const SystemState &, const Context &)>
+                guard,
+            std::function<bool(SystemState &, const Context &)> apply)
+    {
+        std::string name = base + std::to_string(i + 1);
+        if (numDevices > 2)
+            name += "_s" + std::to_string(o + 1);
+        addNamed(std::move(name), mutated, std::move(guard),
+                 std::move(apply));
+    }
+
+    /**
+     * A chained-snoop rule instance (requester i, just-collected
+     * target o, next target o2); only meaningful with three or more
+     * devices, so the suffix is always fully qualified.
+     */
+    void
+    addChained(const std::string &base, int o, int o2, bool mutated,
+               std::function<bool(const SystemState &, const Context &)>
+                   guard,
+               std::function<bool(SystemState &, const Context &)>
+                   apply)
+    {
+        addNamed(base + std::to_string(i + 1) + "_s" +
+                     std::to_string(o + 1) + "_n" +
+                     std::to_string(o2 + 1),
+                 mutated, std::move(guard), std::move(apply));
+    }
+
+    /** Snoop targets: every active device other than the requester. */
+    std::vector<int>
+    others() const
+    {
+        std::vector<int> o;
+        for (int k = 0; k < numDevices; ++k) {
+            if (k != i)
+                o.push_back(k);
+        }
+        return o;
     }
 };
 
@@ -80,7 +174,6 @@ void
 addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
 {
     const int i = b.i;
-    const int o = SystemState::other(i);
     const bool relax_tailgate = config.relaxGoTailgate;
 
     auto go_ok = [relax_tailgate](const SystemState &s, int dev) {
@@ -114,45 +207,50 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
             return pushGrant(s, i, DState::S, t, s.hval);
         });
 
-    // The other device owns the line: snoop it down to S first.
-    b.add("HostModifiedRdShared", false,
-        [i, o](const SystemState &s, const Context &) {
-            return s.hstate == HState::M &&
-                   headReqIs(s.dev[i], D2HReqOp::RdShared) &&
-                   ownerView(s, o) && !s.dev[o].h2dReq.full();
-        },
-        [i, o](SystemState &s, const Context &) {
-            Tid t = s.dev[i].d2hReq.front().tid;
-            s.dev[i].d2hReq.popFront();
-            s.hstate = HState::SAD;
-            return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpData, t});
-        });
+    // Some other device owns the line: snoop it down to S first.
+    for (int o : b.others()) {
+        b.addPair("HostModifiedRdShared", o, false,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::M &&
+                       headReqIs(s.dev[i], D2HReqOp::RdShared) &&
+                       ownerView(s, o) && !s.dev[o].h2dReq.full();
+            },
+            [i, o](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.hstate = HState::SAD;
+                s.hreq = asReq(i);
+                return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpData, t});
+            });
 
-    b.add("HostSAD_RspSFwdM", false,
-        [o](const SystemState &s, const Context &) {
-            return s.hstate == HState::SAD &&
-                   headRspIs(s.dev[o], D2HRspOp::RspSFwdM);
-        },
-        [o](SystemState &s, const Context &) {
-            s.dev[o].d2hRsp.popFront();
-            s.hstate = HState::SD;
-            return true;
-        });
+        b.addPair("HostSAD_RspSFwdM", o, false,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::SAD && s.hreq == asReq(i) &&
+                       headRspIs(s.dev[o], D2HRspOp::RspSFwdM);
+            },
+            [o](SystemState &s, const Context &) {
+                s.dev[o].d2hRsp.popFront();
+                s.hstate = HState::SD;
+                return true;
+            });
 
-    // Forwarded dirty data arrives; memory is updated and the original
-    // requester is granted S.
-    b.add("HostSD_Data", false,
-        [i, o, go_ok](const SystemState &s, const Context &) {
-            return s.hstate == HState::SD && headDataClean(s.dev[o]) &&
-                   go_ok(s, i) && grantRoom(s, i);
-        },
-        [i, o](SystemState &s, const Context &) {
-            DataMsg data = s.dev[o].d2hData.front();
-            s.dev[o].d2hData.popFront();
-            s.hval = data.val;
-            s.hstate = HState::S;
-            return pushGrant(s, i, DState::S, data.tid, data.val);
-        });
+        // Forwarded dirty data arrives; memory is updated and the
+        // original requester is granted S.
+        b.addPair("HostSD_Data", o, false,
+            [i, o, go_ok](const SystemState &s, const Context &) {
+                return s.hstate == HState::SD && s.hreq == asReq(i) &&
+                       headDataClean(s.dev[o]) && go_ok(s, i) &&
+                       grantRoom(s, i);
+            },
+            [i, o](SystemState &s, const Context &) {
+                DataMsg data = s.dev[o].d2hData.front();
+                s.dev[o].d2hData.popFront();
+                s.hval = data.val;
+                s.hstate = HState::S;
+                s.hreq = 0;
+                return pushGrant(s, i, DState::S, data.tid, data.val);
+            });
+    }
 
     // Nobody holds the line: grant ownership directly.
     b.add("HostInvalidRdOwn", false,
@@ -169,12 +267,14 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
         });
 
     // The requester is the sole sharer (an SMAD upgrade): no snoop
-    // needed — the two-device shortcut discussed in paper Section 8.
+    // needed — the shortcut discussed in paper Section 8, with "the
+    // other device is no sharer" generalised to all peers.
     b.add("HostSharedRdOwnUpgrade", false,
-        [i, o, go_ok](const SystemState &s, const Context &) {
+        [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::S &&
                    headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
-                   !sharerView(s, o) && go_ok(s, i) && grantRoom(s, i);
+                   !anyOtherSharer(s, i) && go_ok(s, i) &&
+                   grantRoom(s, i);
         },
         [i](SystemState &s, const Context &) {
             Tid t = s.dev[i].d2hReq.front().tid;
@@ -185,85 +285,126 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
     // A clean sharer must be invalidated first.  Data can be sent to
     // the requester immediately (Table 3's SharedRdOwn1 step); the GO
-    // follows once the snoop response arrives.
-    b.add("HostSharedRdOwnSnp", false,
-        [i, o](const SystemState &s, const Context &) {
-            return s.hstate == HState::S &&
-                   headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
-                   sharerView(s, o) && !s.dev[o].h2dReq.full() &&
-                   !s.dev[i].h2dData.full();
-        },
-        [i, o](SystemState &s, const Context &) {
-            Tid t = s.dev[i].d2hReq.front().tid;
-            s.dev[i].d2hReq.popFront();
-            s.hstate = HState::MA;
-            bool ok = s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
-            return s.dev[i].h2dData.pushBack({t, s.hval, 0}) && ok;
-        });
-
-    // Clean-sharer invalidation acknowledged: complete the grant
-    // (Table 3's MARspIHitI1, with the honest RspIHitSE).  The grant
-    // additionally waits until stale grant data to the snooped device
-    // has drained (its ISDI read-once), so that ownership is never
-    // granted while shareable data is still in flight to the other
-    // device — the paper's first Section 6 sample conjunct.
-    auto add_ma_ack = [&](const char *base, D2HRspOp rsp, bool mutated) {
-        b.add(base, mutated,
-            [i, o, rsp, go_ok](const SystemState &s, const Context &) {
-                return s.hstate == HState::MA &&
-                       headRspIs(s.dev[o], rsp) && go_ok(s, i) &&
-                       s.dev[o].h2dData.empty() &&
-                       !s.dev[i].h2dRsp.full();
+    // follows once every sharer's snoop response has arrived.
+    for (int o : b.others()) {
+        b.addPair("HostSharedRdOwnSnp", o, false,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::S &&
+                       headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                       sharerView(s, o) && !s.dev[o].h2dReq.full() &&
+                       !s.dev[i].h2dData.full();
             },
             [i, o](SystemState &s, const Context &) {
-                Tid t = s.dev[o].d2hRsp.front().tid;
-                s.dev[o].d2hRsp.popFront();
-                s.hstate = HState::M;
-                return s.dev[i].h2dRsp.pushBack(
-                    {H2DRspOp::GO, DState::M, t});
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.hstate = HState::MA;
+                s.hreq = asReq(i);
+                bool ok = s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+                return s.dev[i].h2dData.pushBack({t, s.hval, 0}) && ok;
             });
+    }
+
+    // Clean-sharer invalidation acknowledged.  If no sharer remains,
+    // complete the grant (Table 3's MARspIHitI1, with the honest
+    // RspIHitSE); the grant additionally waits until stale grant data
+    // to any peer has drained (ISDI read-once), so that ownership is
+    // never granted while shareable data is still in flight — the
+    // paper's first Section 6 sample conjunct.  With more than two
+    // devices a further sharer may remain, in which case the next
+    // SnpInv is dispatched instead and the host stays in MA.
+    auto add_ma_ack = [&](const std::string &base, D2HRspOp rsp,
+                          bool mutated) {
+        for (int o : b.others()) {
+            b.addPair(base, o, mutated,
+                [i, o, rsp, go_ok](const SystemState &s,
+                                   const Context &) {
+                    return s.hstate == HState::MA &&
+                           s.hreq == asReq(i) &&
+                           headRspIs(s.dev[o], rsp) &&
+                           !anyThirdSharer(s, i, o) && go_ok(s, i) &&
+                           otherGrantDataDrained(s, i) &&
+                           !s.dev[i].h2dRsp.full();
+                },
+                [i, o](SystemState &s, const Context &) {
+                    Tid t = s.dev[o].d2hRsp.front().tid;
+                    s.dev[o].d2hRsp.popFront();
+                    s.hstate = HState::M;
+                    s.hreq = 0;
+                    return s.dev[i].h2dRsp.pushBack(
+                        {H2DRspOp::GO, DState::M, t});
+                });
+
+            // Chained invalidation: another sharer remains, so the
+            // collected response triggers the next SnpInv rather than
+            // the GO.  Unreachable (and not generated) with fewer
+            // than three devices.
+            for (int o2 = 0; o2 < b.numDevices; ++o2) {
+                if (o2 == i || o2 == o)
+                    continue;
+                b.addChained(base, o, o2, mutated,
+                    [i, o, o2, rsp](const SystemState &s,
+                                    const Context &) {
+                        return s.hstate == HState::MA &&
+                               s.hreq == asReq(i) &&
+                               headRspIs(s.dev[o], rsp) &&
+                               sharerView(s, o2) &&
+                               !s.dev[o2].h2dReq.full();
+                    },
+                    [o, o2](SystemState &s, const Context &) {
+                        Tid t = s.dev[o].d2hRsp.front().tid;
+                        s.dev[o].d2hRsp.popFront();
+                        return s.dev[o2].h2dReq.pushBack(
+                            {H2DReqOp::SnpInv, t});
+                    });
+            }
+        }
     };
     add_ma_ack("HostMA_RspIHitSE", D2HRspOp::RspIHitSE, false);
     // Only reachable when a mutated device lies with RspIHitI.
     add_ma_ack("HostMA_RspIHitI", D2HRspOp::RspIHitI, false);
 
-    // The other device owns the line dirty: invalidate and collect.
-    b.add("HostModifiedRdOwn", false,
-        [i, o](const SystemState &s, const Context &) {
-            return s.hstate == HState::M &&
-                   headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
-                   ownerView(s, o) && !s.dev[o].h2dReq.full();
-        },
-        [i, o](SystemState &s, const Context &) {
-            Tid t = s.dev[i].d2hReq.front().tid;
-            s.dev[i].d2hReq.popFront();
-            s.hstate = HState::MAD;
-            return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
-        });
+    // Some other device owns the line dirty: invalidate and collect.
+    for (int o : b.others()) {
+        b.addPair("HostModifiedRdOwn", o, false,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::M &&
+                       headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                       ownerView(s, o) && !s.dev[o].h2dReq.full();
+            },
+            [i, o](SystemState &s, const Context &) {
+                Tid t = s.dev[i].d2hReq.front().tid;
+                s.dev[i].d2hReq.popFront();
+                s.hstate = HState::MAD;
+                s.hreq = asReq(i);
+                return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+            });
 
-    b.add("HostMAD_RspIFwdM", false,
-        [o](const SystemState &s, const Context &) {
-            return s.hstate == HState::MAD &&
-                   headRspIs(s.dev[o], D2HRspOp::RspIFwdM);
-        },
-        [o](SystemState &s, const Context &) {
-            s.dev[o].d2hRsp.popFront();
-            s.hstate = HState::MD;
-            return true;
-        });
+        b.addPair("HostMAD_RspIFwdM", o, false,
+            [i, o](const SystemState &s, const Context &) {
+                return s.hstate == HState::MAD && s.hreq == asReq(i) &&
+                       headRspIs(s.dev[o], D2HRspOp::RspIFwdM);
+            },
+            [o](SystemState &s, const Context &) {
+                s.dev[o].d2hRsp.popFront();
+                s.hstate = HState::MD;
+                return true;
+            });
 
-    b.add("HostMD_Data", false,
-        [i, o, go_ok](const SystemState &s, const Context &) {
-            return s.hstate == HState::MD && headDataClean(s.dev[o]) &&
-                   go_ok(s, i) && grantRoom(s, i);
-        },
-        [i, o](SystemState &s, const Context &) {
-            DataMsg data = s.dev[o].d2hData.front();
-            s.dev[o].d2hData.popFront();
-            s.hval = data.val;
-            s.hstate = HState::M;
-            return pushGrant(s, i, DState::M, data.tid, data.val);
-        });
+        b.addPair("HostMD_Data", o, false,
+            [i, o, go_ok](const SystemState &s, const Context &) {
+                return s.hstate == HState::MD && s.hreq == asReq(i) &&
+                       headDataClean(s.dev[o]) && go_ok(s, i) &&
+                       grantRoom(s, i);
+            },
+            [i, o](SystemState &s, const Context &) {
+                DataMsg data = s.dev[o].d2hData.front();
+                s.dev[o].d2hData.popFront();
+                s.hval = data.val;
+                s.hstate = HState::M;
+                s.hreq = 0;
+                return pushGrant(s, i, DState::M, data.tid, data.val);
+            });
+    }
 }
 
 /** Eviction processing. */
@@ -271,7 +412,6 @@ void
 addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 {
     const int i = b.i;
-    const int o = SystemState::other(i);
     const bool relax_tailgate = config.relaxGoTailgate;
     const bool stale_drop = config.staleEvictDrop;
 
@@ -295,6 +435,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             Tid t = s.dev[i].d2hReq.front().tid;
             s.dev[i].d2hReq.popFront();
             s.hstate = HState::ID;
+            s.hreq = asReq(i);
             s.dev[i].buffer = DBuffer::empty();
             return push_go(s, i, H2DRspOp::GO_WritePull, t);
         });
@@ -303,24 +444,28 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // IDData1 step).
     b.add("HostID_Data", false,
         [i](const SystemState &s, const Context &) {
-            return s.hstate == HState::ID && headDataClean(s.dev[i]);
+            return s.hstate == HState::ID && s.hreq == asReq(i) &&
+                   headDataClean(s.dev[i]);
         },
         [i](SystemState &s, const Context &) {
             s.hval = s.dev[i].d2hData.front().val;
             s.dev[i].d2hData.popFront();
             s.hstate = HState::I;
+            s.hreq = 0;
             return true;
         });
 
     // Clean-evict data pull completes; host remains a sharer.
     b.add("HostSB_Data", false,
         [i](const SystemState &s, const Context &) {
-            return s.hstate == HState::SB && headDataClean(s.dev[i]);
+            return s.hstate == HState::SB && s.hreq == asReq(i) &&
+                   headDataClean(s.dev[i]);
         },
         [i](SystemState &s, const Context &) {
             s.hval = s.dev[i].d2hData.front().val;
             s.dev[i].d2hData.popFront();
             s.hstate = HState::S;
+            s.hreq = 0;
             return true;
         });
 
@@ -357,8 +502,8 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
         };
 
         b.add(std::string(f.base) + "NotLastDrop", false,
-            [o, guard_common](const SystemState &s, const Context &) {
-                return guard_common(s) && sharerView(s, o);
+            [i, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && anyOtherSharer(s, i);
             },
             [i, push_go](SystemState &s, const Context &) {
                 Tid t = s.dev[i].d2hReq.front().tid;
@@ -368,8 +513,8 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.add(std::string(f.base) + "LastDrop", false,
-            [o, guard_common](const SystemState &s, const Context &) {
-                return guard_common(s) && !sharerView(s, o);
+            [i, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && !anyOtherSharer(s, i);
             },
             [i, push_go](SystemState &s, const Context &) {
                 Tid t = s.dev[i].d2hReq.front().tid;
@@ -383,26 +528,28 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             continue;
 
         b.add(std::string(f.base) + "NotLastPull", false,
-            [o, guard_common](const SystemState &s, const Context &) {
-                return guard_common(s) && sharerView(s, o);
+            [i, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && anyOtherSharer(s, i);
             },
             [i, push_go](SystemState &s, const Context &) {
                 Tid t = s.dev[i].d2hReq.front().tid;
                 s.dev[i].d2hReq.popFront();
                 s.dev[i].buffer = DBuffer::empty();
                 s.hstate = HState::SB;
+                s.hreq = asReq(i);
                 return push_go(s, i, H2DRspOp::GO_WritePull, t);
             });
 
         b.add(std::string(f.base) + "LastPull", false,
-            [o, guard_common](const SystemState &s, const Context &) {
-                return guard_common(s) && !sharerView(s, o);
+            [i, guard_common](const SystemState &s, const Context &) {
+                return guard_common(s) && !anyOtherSharer(s, i);
             },
             [i, push_go](SystemState &s, const Context &) {
                 Tid t = s.dev[i].d2hReq.front().tid;
                 s.dev[i].d2hReq.popFront();
                 s.dev[i].buffer = DBuffer::empty();
                 s.hstate = HState::ID;
+                s.hreq = asReq(i);
                 return push_go(s, i, H2DRspOp::GO_WritePull, t);
             });
     }
@@ -470,51 +617,59 @@ void
 addMutatedHostRules(HostRuleBuilder &b, const ProtocolConfig &config)
 {
     const int i = b.i;
-    const int o = SystemState::other(i);
 
     if (config.relaxGoTailgate) {
         // The GO tailgates the snoop it depends on: sent in the same
         // step, before any response is collected.
-        b.add("HostEagerGoRdOwn", true,
-            [i, o](const SystemState &s, const Context &) {
-                return s.hstate == HState::S &&
-                       headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
-                       sharerView(s, o) && !s.dev[o].h2dReq.full() &&
-                       grantRoom(s, i);
-            },
-            [i, o](SystemState &s, const Context &) {
-                Tid t = s.dev[i].d2hReq.front().tid;
-                s.dev[i].d2hReq.popFront();
-                s.hstate = HState::M;
-                bool ok = s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
-                return pushGrant(s, i, DState::M, t, s.hval) && ok;
-            });
+        for (int o : b.others()) {
+            b.addPair("HostEagerGoRdOwn", o, true,
+                [i, o](const SystemState &s, const Context &) {
+                    return s.hstate == HState::S &&
+                           headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
+                           sharerView(s, o) &&
+                           !s.dev[o].h2dReq.full() && grantRoom(s, i);
+                },
+                [i, o](SystemState &s, const Context &) {
+                    Tid t = s.dev[i].d2hReq.front().tid;
+                    s.dev[i].d2hReq.popFront();
+                    s.hstate = HState::M;
+                    bool ok =
+                        s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
+                    return pushGrant(s, i, DState::M, t, s.hval) && ok;
+                });
+        }
     }
 
     if (config.relaxOneSnoop) {
         // A second snoop is dispatched before the response to the
         // first is collected (violates CXL 3.1 Section 3.2.5.5).
-        b.add("HostSecondSnoop", true,
-            [o](const SystemState &s, const Context &) {
-                return (s.hstate == HState::MA ||
-                        s.hstate == HState::MAD) &&
-                       s.dev[o].h2dReq.size() == 1 && s.counter < 250;
-            },
-            [o](SystemState &s, const Context &) {
-                Tid t = s.counter;
-                s.counter = static_cast<std::uint8_t>(s.counter + 1);
-                return s.dev[o].h2dReq.pushBack({H2DReqOp::SnpInv, t});
-            });
+        for (int o : b.others()) {
+            b.addPair("HostSecondSnoop", o, true,
+                [i, o](const SystemState &s, const Context &) {
+                    return (s.hstate == HState::MA ||
+                            s.hstate == HState::MAD) &&
+                           s.hreq == asReq(i) &&
+                           s.dev[o].h2dReq.size() == 1 &&
+                           s.counter < 250;
+                },
+                [o](SystemState &s, const Context &) {
+                    Tid t = s.counter;
+                    s.counter = static_cast<std::uint8_t>(s.counter + 1);
+                    return s.dev[o].h2dReq.pushBack(
+                        {H2DReqOp::SnpInv, t});
+                });
+        }
     }
 }
 
 } // namespace
 
 void
-addHostRules(std::vector<Rule> &rules, int d, const ProtocolConfig &config)
+addHostRules(std::vector<Rule> &rules, int d, const ProtocolConfig &config,
+             int num_devices)
 {
-    assert(d >= 0 && d < kNumDevices);
-    HostRuleBuilder b{rules, d};
+    assert(d >= 0 && d < num_devices && num_devices <= kMaxDevices);
+    HostRuleBuilder b{rules, d, num_devices};
     addReadRequestRules(b, config);
     addEvictionRules(b, config);
     addMutatedHostRules(b, config);

@@ -9,6 +9,10 @@
  * nondeterministically issue any instruction at any time — that is the
  * configuration under which the checker enumerates the full reachable
  * state space for the SWMR theorem.
+ *
+ * The active device count is carried by the scenario's initial state
+ * (SystemState::ndev) and exposed through numDevices(); rule sets and
+ * invariant sets are built for a matching count.
  */
 
 #ifndef CXL_PROTOCOL_SCENARIO_HH
@@ -28,7 +32,7 @@ namespace cxl
 struct Scenario {
     std::string name = "unnamed";
     SystemState initial;
-    std::vector<Instr> program[kNumDevices];
+    std::vector<Instr> program[kMaxDevices];
 
     /**
      * Free-run mode: ignore the programs; any device whose cacheline
@@ -37,6 +41,9 @@ struct Scenario {
      * protocol behaviours.
      */
     bool freeRun = false;
+
+    /** Active device count, carried by the initial state. */
+    int numDevices() const { return initial.ndev; }
 
     /**
      * The instruction device @p dev would execute at program counter
@@ -75,13 +82,13 @@ struct Scenario {
         return freeRun ? pc : static_cast<std::uint8_t>(pc + 1);
     }
 
-    /** True when both device programs have fully retired. */
+    /** True when every device program has fully retired. */
     bool
     finished(const SystemState &s) const
     {
         if (freeRun)
             return false;
-        for (int d = 0; d < kNumDevices; ++d) {
+        for (int d = 0; d < numDevices(); ++d) {
             if (s.dev[d].pc < program[d].size())
                 return false;
         }
@@ -90,11 +97,11 @@ struct Scenario {
 
     /** Canonical free-run scenario from the all-invalid initial state. */
     static Scenario
-    freeRunScenario()
+    freeRunScenario(int num_devices = kDefaultNumDevices)
     {
         Scenario sc;
         sc.name = "free_run";
-        sc.initial = initialAllInvalid();
+        sc.initial = initialAllInvalid(0, num_devices);
         sc.freeRun = true;
         return sc;
     }

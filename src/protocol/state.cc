@@ -1,6 +1,8 @@
 #include "protocol/state.hh"
 
+#include <algorithm>
 #include <array>
+#include <cassert>
 #include <sstream>
 
 namespace cxl
@@ -60,7 +62,8 @@ void
 SystemState::canonicaliseTids()
 {
     TidRenamer renamer;
-    for (auto &d : dev) {
+    for (int i = 0; i < ndev; ++i) {
+        DeviceState &d = dev[i];
         renameChannel(d.d2hReq, renamer);
         renameChannel(d.d2hRsp, renamer);
         renameChannel(d.d2hData, renamer);
@@ -76,53 +79,101 @@ SystemState::canonicaliseTids()
 namespace
 {
 
-/** Exchange the two device-deterministic store values. */
-constexpr Val
-swapVal(Val v)
+/**
+ * Relabel one device-deterministic store value under a device
+ * permutation: value v > 0 names old device v-1, which the inverse
+ * permutation sends to its new index.
+ */
+Val
+remapVal(Val v, const std::uint8_t *inv, int ndev)
 {
-    if (v == 1)
-        return 2;
-    if (v == 2)
-        return 1;
+    if (v >= 1 && v <= ndev)
+        return static_cast<Val>(inv[v - 1] + 1);
     return v;
 }
 
 void
-swapDeviceVals(DeviceState &d)
+remapDeviceVals(DeviceState &d, const std::uint8_t *inv, int ndev)
 {
-    d.val = swapVal(d.val);
+    d.val = remapVal(d.val, inv, ndev);
     for (std::size_t i = 0; i < d.d2hData.size(); ++i)
-        d.d2hData[i].val = swapVal(d.d2hData[i].val);
+        d.d2hData[i].val = remapVal(d.d2hData[i].val, inv, ndev);
     for (std::size_t i = 0; i < d.h2dData.size(); ++i)
-        d.h2dData[i].val = swapVal(d.h2dData[i].val);
+        d.h2dData[i].val = remapVal(d.h2dData[i].val, inv, ndev);
 }
 
 } // namespace
 
 SystemState
+SystemState::permutedDevices(const std::uint8_t *perm) const
+{
+    // Inverse permutation: old index -> new index, for relabelling
+    // the device ids embedded in store values and in hreq.
+    std::uint8_t inv[kMaxDevices] = {};
+    for (int n = 0; n < ndev; ++n) {
+        assert(perm[n] < ndev);
+        inv[perm[n]] = static_cast<std::uint8_t>(n);
+    }
+
+    SystemState t = *this;
+    for (int n = 0; n < ndev; ++n) {
+        t.dev[n] = dev[perm[n]];
+        remapDeviceVals(t.dev[n], inv, ndev);
+    }
+    t.hval = remapVal(hval, inv, ndev);
+    if (hreq != 0)
+        t.hreq = static_cast<std::uint8_t>(inv[hreq - 1] + 1);
+    return t;
+}
+
+SystemState
 SystemState::swappedDevices() const
 {
-    SystemState t = *this;
-    std::swap(t.dev[0], t.dev[1]);
-    swapDeviceVals(t.dev[0]);
-    swapDeviceVals(t.dev[1]);
-    t.hval = swapVal(t.hval);
-    return t;
+    assert(ndev >= 2);
+    std::uint8_t perm[kMaxDevices] = {1, 0, 2, 3};
+    return permutedDevices(perm);
+}
+
+SystemState
+SystemState::deviceCanonical(bool canon_tids,
+                             bool input_tid_canonical) const
+{
+    std::uint8_t perm[kMaxDevices] = {0, 1, 2, 3};
+
+    // The identity candidate gets the same tid treatment as every
+    // other image so that permuted copies of one state always land on
+    // the same representative; a caller-certified canonical input
+    // skips the (idempotent) rescan.
+    SystemState best = *this;
+    if (canon_tids && !input_tid_canonical)
+        best.canonicaliseTids();
+
+    while (std::next_permutation(perm, perm + ndev)) {
+        SystemState cand = permutedDevices(perm);
+        if (canon_tids)
+            cand.canonicaliseTids();
+        if (cand.bytewiseLess(best))
+            best = cand;
+    }
+    return best;
 }
 
 bool
 SystemState::bytewiseLess(const SystemState &other) const
 {
-    return std::memcmp(this, &other, sizeof(SystemState)) < 0;
+    assert(ndev == other.ndev);
+    return std::memcmp(this, &other, activeBytes()) < 0;
 }
 
 std::string
 SystemState::brief() const
 {
     std::ostringstream out;
-    out << "D1=(" << int(dev[0].val) << "," << toString(dev[0].state)
-        << ") H=(" << int(hval) << "," << toString(hstate) << ") D2=("
-        << int(dev[1].val) << "," << toString(dev[1].state)
+    for (int d = 0; d < ndev; ++d) {
+        out << "D" << (d + 1) << "=(" << int(dev[d].val) << ","
+            << toString(dev[d].state) << ") ";
+    }
+    out << "H=(" << int(hval) << "," << toString(hstate)
         << ") ctr=" << int(counter);
     return out.str();
 }
@@ -132,8 +183,10 @@ SystemState::dump() const
 {
     std::ostringstream out;
     out << "HCache   = (" << int(hval) << ", " << toString(hstate)
-        << "), Counter = " << int(counter) << "\n";
-    for (int d = 0; d < kNumDevices; ++d) {
+        << "), Counter = " << int(counter) << ", Requester = "
+        << (hreq ? "D" + std::to_string(int(hreq)) : std::string("-"))
+        << ", Devices = " << int(ndev) << "\n";
+    for (int d = 0; d < ndev; ++d) {
         const DeviceState &ds = dev[d];
         out << "Device " << (d + 1) << ": DCache = (" << int(ds.val)
             << ", " << toString(ds.state) << "), pc = " << int(ds.pc)
@@ -149,31 +202,33 @@ SystemState::dump() const
 }
 
 SystemState
-initialAllInvalid(Val memory_val)
+initialAllInvalid(Val memory_val, int num_devices)
 {
+    assert(num_devices >= 1 && num_devices <= kMaxDevices);
     SystemState s;
+    s.ndev = static_cast<std::uint8_t>(num_devices);
     s.hval = memory_val;
     return s;
 }
 
 SystemState
-initialBothShared(Val v)
+initialBothShared(Val v, int num_devices)
 {
-    SystemState s;
-    s.hval = v;
+    SystemState s = initialAllInvalid(v, num_devices);
     s.hstate = HState::S;
-    for (auto &d : s.dev) {
-        d.val = v;
-        d.state = DState::S;
+    for (int d = 0; d < s.ndev; ++d) {
+        s.dev[d].val = v;
+        s.dev[d].state = DState::S;
     }
     return s;
 }
 
 SystemState
-initialOneModified(int owner, Val owner_val, Val memory_val)
+initialOneModified(int owner, Val owner_val, Val memory_val,
+                   int num_devices)
 {
-    SystemState s;
-    s.hval = memory_val;
+    assert(owner >= 0 && owner < num_devices);
+    SystemState s = initialAllInvalid(memory_val, num_devices);
     s.hstate = HState::M;
     s.dev[owner].val = owner_val;
     s.dev[owner].state = DState::M;
@@ -183,9 +238,14 @@ initialOneModified(int owner, Val owner_val, Val memory_val)
 bool
 structurallyWellFormed(const SystemState &s)
 {
+    if (s.ndev < 1 || s.ndev > kMaxDevices)
+        return false;
+    if (s.hreq > s.ndev)
+        return false;
     if (static_cast<int>(s.hstate) >= kNumHStates)
         return false;
-    for (const auto &d : s.dev) {
+    for (int i = 0; i < s.ndev; ++i) {
+        const DeviceState &d = s.dev[i];
         if (static_cast<int>(d.state) >= kNumDStates)
             return false;
         if (d.d2hReq.size() > kChanCap || d.d2hRsp.size() > kChanCap ||

@@ -1,18 +1,26 @@
 /**
  * @file
- * The whole-system state of the CXL.cache model (paper Fig. 2/3):
- * two devices (cacheline + six channels + buffer + program counter),
- * the host cacheline/directory, and the transaction counter.
+ * The whole-system state of the CXL.cache model (paper Fig. 2/3),
+ * generalised from the paper's fixed two-device configuration to a
+ * runtime-selected device count: up to kMaxDevices devices (cacheline
+ * + six channels + buffer + program counter each), the host
+ * cacheline/directory, and the transaction counter.
  *
  * The record is built exclusively from byte-sized fields, so it is
  * padding-free, trivially copyable and can be hashed/compared bytewise
- * by the model checker.
+ * by the model checker.  The host-side fields come *first* so that a
+ * state with numDevices active devices occupies one contiguous prefix
+ * of the record; hashing and comparison cover only that prefix, and
+ * the unused device slots stay default-initialised in every state of
+ * a run.
  */
 
 #ifndef CXL_PROTOCOL_STATE_HH
 #define CXL_PROTOCOL_STATE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "protocol/message.hh"
@@ -57,41 +65,88 @@ struct DeviceState {
     }
 };
 
-/** Number of devices. Fixed to two, as in the paper (Section 3.1). */
-constexpr int kNumDevices = 2;
+/**
+ * Compile-time cap on the device count.  The paper fixes two devices
+ * (Section 3.1); this reproduction selects the active count per run
+ * (SystemState::ndev / Scenario::numDevices()) up to this cap, which
+ * is where device-permutation symmetry reduction keeps 3-4 device
+ * free-run spaces enumerable.
+ */
+constexpr int kMaxDevices = 4;
+
+/** The paper's configuration, and the default everywhere. */
+constexpr int kDefaultNumDevices = 2;
 
 /** Complete system state. */
 struct SystemState {
-    DeviceState dev[kNumDevices];
+    // Host-side fields first: together with the first `ndev` device
+    // slots they form the contiguous "active prefix" that hashing and
+    // comparison cover.
     Val hval = 0;               ///< host/memory value of the location
     HState hstate = HState::I;  ///< host directory state
     std::uint8_t counter = 0;   ///< transaction-identifier counter
 
-    /** The other device's index. */
+    /** Active device count (1..kMaxDevices); fixed per run. */
+    std::uint8_t ndev = kDefaultNumDevices;
+
+    /**
+     * Requester tracking: while the host directory is mid-transaction
+     * (hstate transient), the 1-based index of the device whose
+     * request/eviction is being served; 0 otherwise.  In the paper's
+     * two-device model the requester is always "the other device" and
+     * needs no state; with N devices the transient host rules must
+     * know whom to grant/collect from.
+     */
+    std::uint8_t hreq = 0;
+
+    DeviceState dev[kMaxDevices];
+
+    /**
+     * The other device's index in the two-device configuration (used
+     * by the paper-facing witnesses and two-device tests; N-device
+     * code quantifies over device indices instead).
+     */
     static constexpr int
     other(int d)
     {
         return 1 - d;
     }
 
+    /** 1-based requester index as a 0-based device index (-1: none). */
+    int requester() const { return static_cast<int>(hreq) - 1; }
+
+    /**
+     * Bytes covered by hashing/comparison: the host fields plus the
+     * active device slots.  Inactive slots stay default-initialised
+     * in every state of a run, so excluding them is sound and keeps
+     * two-device runs from paying for the four-device capacity.
+     */
+    std::size_t
+    activeBytes() const
+    {
+        return offsetof(SystemState, dev) +
+               static_cast<std::size_t>(ndev) * sizeof(DeviceState);
+    }
+
     friend bool
     operator==(const SystemState &a, const SystemState &b)
     {
-        return a.dev[0] == b.dev[0] && a.dev[1] == b.dev[1] &&
-               a.hval == b.hval && a.hstate == b.hstate &&
-               a.counter == b.counter;
+        // All fields are bytes and InlineVec zeroes its tail, so the
+        // raw prefix comparison is exact.
+        return a.ndev == b.ndev &&
+               std::memcmp(&a, &b, a.activeBytes()) == 0;
     }
 
     /**
-     * 64-bit fingerprint of the canonical byte encoding.  Inline: the
-     * explorer hashes every generated successor, and the sharded
-     * state store routes on the top bits and probes on the low bits
-     * of this value.
+     * 64-bit fingerprint of the canonical byte encoding (active
+     * prefix only).  Inline: the explorer hashes every generated
+     * successor, and the sharded state store routes on the top bits
+     * and probes on the low bits of this value.
      */
     std::uint64_t
     hash() const
     {
-        return hashBytes(this, sizeof(SystemState));
+        return hashBytes(this, activeBytes());
     }
 
     /**
@@ -103,14 +158,41 @@ struct SystemState {
     void canonicaliseTids();
 
     /**
-     * The device-permuted image of this state: devices 1 and 2
-     * exchanged, and the device-deterministic store values relabelled
-     * with them (stores write device_id + 1, so values 1 and 2 swap).
-     * This is an automorphism of the free-run transition system; the
-     * explorer's symmetry reduction identifies each state with the
-     * lexicographically smaller of {s, s.swappedDevices()}.
+     * The image of this state under a device permutation: active
+     * device slot n takes the contents of slot perm[n], and the
+     * device-deterministic store values are relabelled to match
+     * (stores write device_id + 1, so value perm[n]+1 becomes n+1 in
+     * cachelines, host memory and every data message).  The host
+     * requester index hreq is remapped the same way.  Every such
+     * image is an automorphism of the free-run transition system.
+     *
+     * @param perm maps new index -> old index; entries [0, ndev) must
+     *        be a permutation of [0, ndev).
+     */
+    SystemState permutedDevices(const std::uint8_t *perm) const;
+
+    /**
+     * The two-device special case: devices 1 and 2 exchanged (kept
+     * for the paper-facing tests; implemented via permutedDevices).
      */
     SystemState swappedDevices() const;
+
+    /**
+     * Canonical representative of this state's device-permutation
+     * orbit: the bytewise-least image over all ndev! permutations,
+     * with tids re-canonicalised after each permutation when
+     * @p canon_tids is set (permuting devices changes the
+     * first-appearance order that tid relabelling scans in).  The
+     * explorer's symmetryReduction maps every state through this
+     * before lookup/insert.
+     *
+     * @param input_tid_canonical the caller guarantees this state's
+     *        tids are already canonical, so the identity image needs
+     *        no rescan (the explorer canonicalises every successor
+     *        before reducing; arbitrary test inputs must pass false).
+     */
+    SystemState deviceCanonical(bool canon_tids,
+                                bool input_tid_canonical = false) const;
 
     /** Bytewise lexicographic order (total; used by symmetry reduction). */
     bool bytewiseLess(const SystemState &other) const;
@@ -122,42 +204,48 @@ struct SystemState {
     std::string dump() const;
 };
 
+static_assert(sizeof(DeviceState) ==
+                  2 +            // val + state
+                      (2 * 3 + 1) +  // d2hReq
+                      (2 * 3 + 1) +  // d2hRsp
+                      (3 * 3 + 1) +  // d2hData
+                      (2 * 3 + 1) +  // h2dReq
+                      (3 * 3 + 1) +  // h2dRsp
+                      (3 * 3 + 1) +  // h2dData
+                      5 +            // buffer
+                      1,             // pc
+              "DeviceState must stay padding-free for bytewise hashing");
+
 static_assert(sizeof(SystemState) ==
-                  2 * (2 +            // val + state
-                       (2 * 3 + 1) +  // d2hReq
-                       (2 * 3 + 1) +  // d2hRsp
-                       (3 * 3 + 1) +  // d2hData
-                       (2 * 3 + 1) +  // h2dReq
-                       (3 * 3 + 1) +  // h2dRsp
-                       (3 * 3 + 1) +  // h2dData
-                       5 +            // buffer
-                       1) +           // pc
-                  3,
+                  5 + kMaxDevices * sizeof(DeviceState),
               "SystemState must stay padding-free for bytewise hashing");
 
 /**
  * Builders for the initial states used by litmus tests and the
  * explorer.  All caches invalid, channels empty, counter zero.
  */
-SystemState initialAllInvalid(Val memory_val = 0);
+SystemState initialAllInvalid(Val memory_val = 0,
+                              int num_devices = kDefaultNumDevices);
 
 /**
- * Both devices and the host share the line with value @p v
+ * Every device and the host share the line with value @p v
  * (the Table 1 starting point).
  */
-SystemState initialBothShared(Val v = 0);
+SystemState initialBothShared(Val v = 0,
+                              int num_devices = kDefaultNumDevices);
 
 /**
  * Device @p owner holds the line modified with value @p v; the host
  * directory records M (the Table 2 starting point).
  */
-SystemState initialOneModified(int owner, Val owner_val,
-                               Val memory_val);
+SystemState initialOneModified(int owner, Val owner_val, Val memory_val,
+                               int num_devices = kDefaultNumDevices);
 
 /**
- * Structural sanity: channel sizes within capacity, enum fields in
- * range.  This is *well-formedness*, not protocol correctness; the
- * invariant library handles the latter.
+ * Structural sanity: device count and requester index in range,
+ * channel sizes within capacity, enum fields in range.  This is
+ * *well-formedness*, not protocol correctness; the invariant library
+ * handles the latter.
  */
 bool structurallyWellFormed(const SystemState &s);
 

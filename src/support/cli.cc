@@ -1,5 +1,6 @@
 #include "support/cli.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace cxl
@@ -55,6 +56,19 @@ threadCountOption(const CliArgs &args, std::size_t fallback)
     std::int64_t n =
         args.getInt("threads", static_cast<std::int64_t>(fallback));
     return n <= 0 ? 0 : static_cast<std::size_t>(n);
+}
+
+int
+deviceCountOption(const CliArgs &args, int max_devices, int fallback)
+{
+    const std::int64_t n = args.getInt("devices", fallback);
+    if (n < 1 || n > max_devices) {
+        std::fprintf(stderr,
+                     "--devices %lld out of range (want 1..%d)\n",
+                     static_cast<long long>(n), max_devices);
+        std::exit(2);
+    }
+    return static_cast<int>(n);
 }
 
 } // namespace cxl

@@ -54,6 +54,15 @@ class CliArgs
 std::size_t threadCountOption(const CliArgs &args,
                               std::size_t fallback = 0);
 
+/**
+ * Resolve the shared `--devices N` option selecting the active
+ * device count of the model.  Exits with code 2 (printing the
+ * offending value) on anything outside [1, max_devices] rather than
+ * silently clamping; callers pass kMaxDevices.
+ */
+int deviceCountOption(const CliArgs &args, int max_devices,
+                      int fallback = 2);
+
 } // namespace cxl
 
 #endif // CXL_SUPPORT_CLI_HH

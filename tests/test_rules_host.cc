@@ -105,6 +105,7 @@ TEST_P(HostRules, MaAckCompletesOwnershipGrant)
 {
     SystemState s = initialAllInvalid(2);
     s.hstate = HState::MA;
+    s.hreq = static_cast<std::uint8_t>(i() + 1);
     s.dev[i()].state = DState::SMAD;
     s.dev[i()].h2dData.pushBack({0, 2, 0}); // early data already sent
     s.dev[o()].state = DState::I;
@@ -125,6 +126,7 @@ TEST_P(HostRules, MaAckWaitsForStaleGrantDataToDrain)
     // is still in flight, so the ownership GO must wait.
     SystemState s = initialAllInvalid(2);
     s.hstate = HState::MA;
+    s.hreq = static_cast<std::uint8_t>(i() + 1);
     s.dev[i()].state = DState::IMAD;
     s.dev[i()].h2dData.pushBack({0, 2, 0});
     s.dev[o()].state = DState::ISDI;
