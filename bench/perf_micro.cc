@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
 #include "checker/explorer.hh"
 #include "checker/state_store.hh"
 #include "invariants/invariant.hh"
@@ -41,6 +46,37 @@ BM_StateHash(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StateHash);
+
+void
+BM_StateFingerprint(benchmark::State &state)
+{
+    // The second hash paid per successor in hash-compaction mode.
+    SystemState s = busyState();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.fingerprint());
+        s.counter ^= 1;
+    }
+}
+BENCHMARK(BM_StateFingerprint);
+
+void
+BM_DeviceCanonical(benchmark::State &state)
+{
+    // The symmetry-reduction hot path: ndev! images with early-abort
+    // comparison; the argument is the device count.
+    const int ndev = static_cast<int>(state.range(0));
+    SystemState s = initialBothShared(1, ndev);
+    s.dev[0].state = DState::SMAD;
+    s.dev[0].d2hReq.pushBack({D2HReqOp::RdOwn, 0});
+    s.dev[1].h2dReq.pushBack({H2DReqOp::SnpInv, 1});
+    s.counter = 2;
+    s.canonicaliseTids();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.deviceCanonical(true, true));
+        s.dev[ndev - 1].pc ^= 1; // defeat value caching
+    }
+}
+BENCHMARK(BM_DeviceCanonical)->Arg(2)->Arg(3)->Arg(4);
 
 void
 BM_CanonicaliseTids(benchmark::State &state)
@@ -99,6 +135,50 @@ BM_StateStoreInsert(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_StateStoreInsert);
+
+void
+BM_StateStoreInsertCompact(benchmark::State &state)
+{
+    // The same insertion stream through the hash-compacted store:
+    // fingerprints are computed and stored instead of state bytes.
+    std::vector<SystemState> batch;
+    for (int i = 0; i < 256; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i);
+        s.dev[0].pc = static_cast<std::uint8_t>(i >> 4);
+        batch.push_back(s);
+    }
+    for (auto _ : state) {
+        StateStore store(1024, StoreMode::Compact);
+        for (const auto &s : batch)
+            store.insert(s, StateStore::kNoParent, 0, 0);
+        benchmark::DoNotOptimize(store.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StateStoreInsertCompact);
+
+void
+BM_StateStoreInsertBatched(benchmark::State &state)
+{
+    // The explorer's flush path: one insertBatch call versus 256
+    // single-lock round trips.
+    std::vector<StateStore::BatchItem> items(256);
+    for (int i = 0; i < 256; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i);
+        s.dev[0].pc = static_cast<std::uint8_t>(i >> 4);
+        items[i].state = s;
+        items[i].hash = s.hash();
+    }
+    for (auto _ : state) {
+        StateStore store(1024);
+        store.insertBatch(items.data(), items.size());
+        benchmark::DoNotOptimize(store.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StateStoreInsertBatched);
 
 void
 BM_ExhaustiveSwmrVerification(benchmark::State &state)
@@ -167,6 +247,88 @@ BM_LitmusExhaustive(benchmark::State &state)
 }
 BENCHMARK(BM_LitmusExhaustive)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporter that also captures every finished run, so a
+ * `--json <path>` invocation can drop BENCH_micro.json next to the
+ * human-readable table (names, per-iteration real/cpu time, items/sec
+ * and custom counters, plus the process peak RSS).
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &run : report)
+            runs_.push_back(run);
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    void
+    writeJson(const std::string &path) const
+    {
+        std::vector<std::string> rows;
+        for (const Run &run : runs_) {
+            if (run.error_occurred)
+                continue;
+            cxl::bench::JsonObject row;
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            row.str("name", run.benchmark_name())
+                .num("iterations",
+                     static_cast<std::uint64_t>(run.iterations))
+                .num("real_ns_per_iter",
+                     run.real_accumulated_time * 1e9 / iters)
+                .num("cpu_ns_per_iter",
+                     run.cpu_accumulated_time * 1e9 / iters);
+            for (const auto &[name, counter] : run.counters)
+                row.num(name, static_cast<double>(counter));
+            rows.push_back(row.render());
+        }
+        cxl::bench::JsonObject json;
+        json.str("bench", "perf_micro")
+            .num("peak_rss_bytes", cxl::bench::peakRssBytes())
+            .raw("benchmarks", cxl::bench::JsonObject::array(rows));
+        cxl::bench::writeJsonFile(path, json);
+    }
+
+  private:
+    std::vector<Run> runs_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Intercept the repo-wide `--json <path>` / `--json=<path>` flag
+    // before google-benchmark rejects it as unrecognised.
+    std::string json_path;
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--json") == 0 &&
+            i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        if (i > 0 && std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+            continue;
+        }
+        passthrough.push_back(argv[i]);
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
+        return 1;
+
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!json_path.empty())
+        reporter.writeJson(json_path);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.hh"
 #include "checker/explorer.hh"
@@ -58,13 +59,20 @@ main(int argc, char **argv)
     // against the unreduced space with --no-sym).
     opt.symmetryReduction =
         (devices > 2 || args.has("sym")) && !args.has("no-sym");
+    // Hash-compacted storage (fingerprints instead of state bytes):
+    // the memory-lean mode that makes the 4-device space fit in RAM.
+    opt.compaction = args.has("compact");
+    const std::int64_t expect = args.getInt("expect-states", 0);
+    if (expect > 0)
+        opt.expectedStates = static_cast<std::uint64_t>(expect);
 
     bench::banner(
         "Theorem 6.2 (SWMR): exhaustive reachability over the " +
         std::to_string(devices) + "-device, one-location model" +
         (opt.symmetryReduction ? " (device-permutation symmetry "
                                  "reduction on)"
-                               : ""));
+                               : "") +
+        (opt.compaction ? " (hash-compacted store)" : ""));
 
     struct Case {
         const char *name;
@@ -99,6 +107,12 @@ main(int argc, char **argv)
                      "transitions", "diameter", "time (s)", "states/s",
                      "SWMR + invariant"});
 
+    // Machine-readable rows for --json (BENCH_statespace.json).
+    std::vector<std::string> json_cases;
+    std::uint64_t total_states = 0, total_transitions = 0;
+    std::uint64_t total_collisions = 0;
+    double total_seconds = 0.0;
+
     bool all_ok = true;
     for (const Case &c : cases) {
         RuleSet rules(c.config, devices);
@@ -128,6 +142,24 @@ main(int argc, char **argv)
                       : !capped     ? "HOLDS everywhere"
                       : user_capped ? "holds (maxStates cap hit)"
                                     : "INCOMPLETE (built-in cap)"});
+
+        total_states += res.numStates;
+        total_transitions += res.numTransitions;
+        total_seconds += res.seconds;
+        total_collisions += res.probeCollisions;
+        bench::JsonObject row;
+        row.str("name", c.name)
+            .num("states", res.numStates)
+            .num("transitions", res.numTransitions)
+            .num("diameter", static_cast<std::uint64_t>(res.maxDepth))
+            .num("seconds", res.seconds)
+            .num("states_per_sec",
+                 res.seconds > 0
+                     ? static_cast<double>(res.numStates) / res.seconds
+                     : 0.0)
+            .boolean("completed", res.completed)
+            .boolean("violation", res.violation.has_value());
+        json_cases.push_back(row.render());
     }
     std::printf("%s", table.render().c_str());
 
@@ -247,6 +279,60 @@ main(int argc, char **argv)
         std::printf("\nthread-scaling sweep (default configuration, "
                     "best of %d runs):\n%s",
                     repeat, sweep.render().c_str());
+    }
+
+    // Memory + throughput summary, and the machine-readable drop.
+    const std::uint64_t peak_rss = bench::peakRssBytes();
+    std::printf("\npeak RSS %.1f MB over %llu states across the "
+                "config table (%.1f bytes/state whole-process)%s\n",
+                static_cast<double>(peak_rss) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(total_states),
+                total_states > 0 ? static_cast<double>(peak_rss) /
+                                       static_cast<double>(total_states)
+                                 : 0.0,
+                opt.compaction ? " [hash-compacted]" : "");
+    if (total_collisions != 0) {
+        std::printf("probe-hash collisions detected and kept "
+                    "separate: %llu\n",
+                    static_cast<unsigned long long>(total_collisions));
+    }
+
+    if (args.has("json")) {
+        // Record the resolved worker count (the explorer maps 0 to
+        // one per hardware thread), so cross-machine states/sec
+        // figures in the perf-trajectory JSON stay comparable.
+        std::size_t resolved_threads = opt.numThreads;
+        if (resolved_threads == 0) {
+            resolved_threads = std::thread::hardware_concurrency();
+            if (resolved_threads == 0)
+                resolved_threads = 1;
+        }
+        bench::JsonObject json;
+        json.str("bench", "swmr_statespace")
+            .num("devices", static_cast<std::uint64_t>(devices))
+            .num("threads",
+                 static_cast<std::uint64_t>(resolved_threads))
+            .boolean("symmetry_reduction", opt.symmetryReduction)
+            .boolean("compact", opt.compaction)
+            .num("max_states", opt.maxStates)
+            .num("total_states", total_states)
+            .num("total_transitions", total_transitions)
+            .num("total_seconds", total_seconds)
+            .num("states_per_sec",
+                 total_seconds > 0
+                     ? static_cast<double>(total_states) / total_seconds
+                     : 0.0)
+            .num("peak_rss_bytes", peak_rss)
+            .num("bytes_per_state",
+                 total_states > 0
+                     ? static_cast<double>(peak_rss) /
+                           static_cast<double>(total_states)
+                     : 0.0)
+            .num("probe_hash_collisions", total_collisions)
+            .boolean("all_ok", all_ok)
+            .raw("cases", bench::JsonObject::array(json_cases));
+        bench::writeJsonFile(
+            args.get("json", "BENCH_statespace.json"), json);
     }
 
     std::printf("\nSWMR theorem: %s\n",

@@ -12,6 +12,9 @@
  *                              one_snoop] [--families swmr,...]
  *                  [--devices N]   (model size, default 2)
  *                  [--threads N]   (0 = all hardware threads)
+ *                  [--compact]     (hash-compacted store: hunts far
+ *                                   larger spaces in RAM, reports the
+ *                                   verdict + bad state but no trace)
  */
 
 #include <cstdio>
@@ -71,6 +74,7 @@ main(int argc, char **argv)
     Explorer explorer(rules, scenario, invariants);
     ExploreOptions opt;
     opt.numThreads = threadCountOption(args);
+    opt.compaction = args.has("compact");
     ExploreResult res = explorer.run(opt);
 
     if (!res.violation) {
@@ -81,22 +85,28 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf("VIOLATION after %llu states: %s\n\nwitness trace "
-                "(shortest, by BFS):\n%s\n",
+    std::printf("VIOLATION after %llu states: %s\n",
                 static_cast<unsigned long long>(res.numStates),
-                res.violation->describe().c_str(),
-                renderTraceTable(res.violation->trace, scenario,
-                                 {StateColumn::DCache1,
-                                  StateColumn::HCache,
-                                  StateColumn::DCache2,
-                                  StateColumn::H2DReq1,
-                                  StateColumn::H2DReq2,
-                                  StateColumn::H2DRsp1,
-                                  StateColumn::H2DRsp2,
-                                  StateColumn::D2HRsp1,
-                                  StateColumn::D2HRsp2})
-                    .c_str());
-    std::printf("bad state in full:\n%s",
-                res.violation->trace.back().state.dump().c_str());
+                res.violation->describe().c_str());
+    if (!res.violation->traceNote.empty())
+        std::printf("(%s)\n", res.violation->traceNote.c_str());
+    if (res.violation->trace.size() > 1) {
+        std::printf("\nwitness trace (shortest, by BFS):\n%s\n",
+                    renderTraceTable(res.violation->trace, scenario,
+                                     {StateColumn::DCache1,
+                                      StateColumn::HCache,
+                                      StateColumn::DCache2,
+                                      StateColumn::H2DReq1,
+                                      StateColumn::H2DReq2,
+                                      StateColumn::H2DRsp1,
+                                      StateColumn::H2DRsp2,
+                                      StateColumn::D2HRsp1,
+                                      StateColumn::D2HRsp2})
+                        .c_str());
+    }
+    if (!res.violation->trace.empty()) {
+        std::printf("bad state in full:\n%s",
+                    res.violation->trace.back().state.dump().c_str());
+    }
     return 1;
 }

@@ -16,15 +16,12 @@ namespace cxl
 namespace
 {
 
-/** One frontier slot: packed store id plus a copy of the state.
- *
- * Carrying the state keeps workers from dereferencing store entries
- * while other workers append to the same shard (the dense entry
- * arrays may reallocate mid-level). */
-struct FrontierNode {
-    std::uint32_t idx;
-    SystemState state;
-};
+/**
+ * Successors a worker accumulates before flushing them into the store
+ * in one batched, shard-grouped pass.  Bounds both the batch buffer
+ * and, together with the soft cap margin, the maxStates overshoot.
+ */
+constexpr std::size_t kFlushBatch = 512;
 
 /**
  * A violation observed during one parallel level.  Candidates are
@@ -38,12 +35,20 @@ struct Candidate {
     std::uint32_t idx;
     std::uint32_t depth;
     std::uint64_t stateHash;
+    // Overflow only: the violating edge itself (rule, source state),
+    // so the reported trace can end with the actual overflowing rule
+    // even when the target state was already known.
+    std::uint16_t edgeRule = 0;
+    std::uint32_t edgeParent = StateStore::kNoParent;
+    std::uint64_t parentHash = 0;
 };
 
 /**
  * Deterministic candidate order: shallowest first, then by state
  * fingerprint, then overflow before conjunct (matching the sequential
- * per-state check order).  Thread-count independent.
+ * per-state check order), then by the violating edge (rule id, source
+ * state hash) so racing overflow edges into one target resolve the
+ * same way for every thread count.
  */
 bool
 candidateLess(const Candidate &a, const Candidate &b)
@@ -56,15 +61,25 @@ candidateLess(const Candidate &a, const Candidate &b)
         }
         return 3;
     };
-    return std::make_tuple(a.depth, a.stateHash, rank(a.kind)) <
-           std::make_tuple(b.depth, b.stateHash, rank(b.kind));
+    return std::make_tuple(a.depth, a.stateHash, rank(a.kind),
+                           a.edgeRule, a.parentHash) <
+           std::make_tuple(b.depth, b.stateHash, rank(b.kind),
+                           b.edgeRule, b.parentHash);
 }
+
+/** An overflow edge waiting for its batch flush to learn its id. */
+struct PendingOverflow {
+    std::uint32_t batchIndex;
+    std::uint64_t parentHash;
+};
 
 /** Per-worker scratch, reused across levels so the hot path stays
  * allocation-free once capacities have warmed up. */
 struct WorkerScratch {
     std::vector<RuleSet::Successor> succs;
-    std::vector<FrontierNode> next;
+    std::vector<StateStore::BatchItem> batch;
+    std::vector<PendingOverflow> overflows;
+    std::vector<std::uint32_t> next;
     std::vector<Candidate> candidates;
     std::vector<std::uint64_t> ruleFires;
     std::uint64_t transitions = 0;
@@ -83,6 +98,8 @@ Violation::describe() const
         break;
       case Kind::Overflow:
         txt = "channel overflow";
+        if (!overflowRule.empty())
+            txt += " (rule " + overflowRule + ")";
         break;
       case Kind::Deadlock:
         txt = "deadlock before program completion";
@@ -104,13 +121,13 @@ Explorer::rebuildTrace(const StateStore &store, std::uint32_t idx) const
     std::vector<TraceStep> trace;
     std::uint32_t cur = idx;
     while (cur != StateStore::kNoParent) {
-        const StateStore::Entry &e = store.entry(cur);
         TraceStep step;
-        step.state = e.state;
-        if (e.parent != StateStore::kNoParent)
-            step.ruleName = rules_.rules()[e.ruleId].name;
+        step.state = store.stateAt(cur);
+        const std::uint32_t parent = store.parentAt(cur);
+        if (parent != StateStore::kNoParent)
+            step.ruleName = rules_.rules()[store.ruleAt(cur)].name;
         trace.push_back(std::move(step));
-        cur = e.parent;
+        cur = parent;
     }
     std::reverse(trace.begin(), trace.end());
     return trace;
@@ -140,7 +157,10 @@ Explorer::run(const ExploreOptions &options)
     ExploreResult result;
     result.ruleFireCounts.assign(rules_.rules().size(), 0);
 
-    StateStore store;
+    StateStore store(1 << 16, options.compaction ? StoreMode::Compact
+                                                 : StoreMode::Full);
+    if (options.expectedStates != 0)
+        store.reserveStates(options.expectedStates);
     Context ctx{&scenario_};
 
     auto symmetry_canon = [&options](SystemState &s) {
@@ -173,7 +193,36 @@ Explorer::run(const ExploreOptions &options)
         }
         v.stateIndex = c.idx;
         v.depth = c.depth;
-        v.trace = rebuildTrace(store, c.idx);
+        if (c.kind == Violation::Kind::Overflow)
+            v.overflowRule = rules_.rules()[c.edgeRule].name;
+        if (options.compaction) {
+            // Breadcrumb states are not retained in compact mode.
+            // The bad state itself is still in the arena when it was
+            // first discovered this level; show it alone.
+            v.traceNote =
+                "trace unavailable: hash-compaction mode stores "
+                "fingerprints, not states; re-run without compaction "
+                "to rebuild the full path";
+            if (store.depthAt(c.idx) == c.depth &&
+                store.stateRetained(c.idx)) {
+                TraceStep step;
+                step.ruleName = v.overflowRule;
+                store.stateInto(c.idx, step.state);
+                v.trace.push_back(std::move(step));
+            }
+        } else if (c.kind == Violation::Kind::Overflow) {
+            // Overflow is an edge property: rebuild the path to the
+            // edge's *source* and append the edge itself, so the
+            // printed trace ends with the overflowing rule even when
+            // the target state was first reached some other way.
+            v.trace = rebuildTrace(store, c.edgeParent);
+            TraceStep step;
+            step.ruleName = v.overflowRule;
+            step.state = store.stateAt(c.idx);
+            v.trace.push_back(std::move(step));
+        } else {
+            v.trace = rebuildTrace(store, c.idx);
+        }
         result.violation = std::move(v);
     };
 
@@ -185,13 +234,18 @@ Explorer::run(const ExploreOptions &options)
                     init.hash()});
             if (options.stopAtFirstViolation) {
                 result.numStates = store.size();
+                result.probeCollisions = store.probeCollisions();
                 return finish(result);
             }
         }
     }
 
-    std::vector<FrontierNode> frontier, next_frontier;
-    frontier.push_back({init_idx, init});
+    // The frontier holds packed store ids only; workers read the
+    // state bytes straight out of the store's pointer-stable arena,
+    // so states are never copied into per-level queues.
+    std::vector<std::uint32_t> frontier, next_frontier;
+    frontier.push_back(init_idx);
+    store.sealLevel(); // establish the level-0 boundary
 
     std::vector<WorkerScratch> scratch(threads);
     for (WorkerScratch &s : scratch)
@@ -205,6 +259,14 @@ Explorer::run(const ExploreOptions &options)
     std::uint32_t depth = 0;
     bool cap_stopped = false;
     bool violation_stopped = false;
+
+    // Batches this close to maxStates flush per successor, which
+    // restores the old check-after-every-insert behaviour and bounds
+    // the cap overshoot at one state per worker.
+    const std::uint64_t soft_cap =
+        options.maxStates > threads * kFlushBatch
+            ? options.maxStates - threads * kFlushBatch
+            : 0;
 
     // First exception thrown by any worker (e.g. a full shard); it
     // is rethrown at the level barrier so errors surface as a
@@ -231,8 +293,45 @@ Explorer::run(const ExploreOptions &options)
             1, std::min<std::size_t>(
                    64, frontier.size() / (8 * threads)));
 
+        // Flush a worker's pending successor batch: one store pass
+        // grouped by shard (a single lock acquisition per shard per
+        // batch), then the post-insert work — overflow candidates,
+        // invariant checks on fresh states, frontier growth — all
+        // outside any lock.
+        auto flushBatch = [&](WorkerScratch &ws, Context &wctx) {
+            if (ws.batch.empty())
+                return;
+            store.insertBatch(ws.batch.data(), ws.batch.size());
+            for (const PendingOverflow &po : ws.overflows) {
+                const StateStore::BatchItem &item =
+                    ws.batch[po.batchIndex];
+                ws.candidates.push_back(
+                    {Violation::Kind::Overflow, nullptr, item.id,
+                     item.depth, item.hash, item.rule, item.parent,
+                     po.parentHash});
+            }
+            ws.overflows.clear();
+            for (const StateStore::BatchItem &item : ws.batch) {
+                if (!item.inserted)
+                    continue;
+                if (options.checkInvariants) {
+                    if (const Conjunct *bad = invariants_.firstFailure(
+                            item.state, wctx)) {
+                        ws.candidates.push_back(
+                            {Violation::Kind::Conjunct, bad, item.id,
+                             item.depth, item.hash});
+                    }
+                }
+                ws.next.push_back(item.id);
+            }
+            ws.batch.clear();
+        };
+
         auto workLevel = [&](WorkerScratch &ws) {
             Context wctx{&scenario_};
+            // Compact-mode cells are decompressed into this per-call
+            // buffer; full mode reads the arena slot in place.
+            SystemState decode_buf;
             for (;;) {
                 if (cap_hit.load(std::memory_order_relaxed))
                     return;
@@ -243,59 +342,70 @@ Explorer::run(const ExploreOptions &options)
                 std::size_t end =
                     std::min(begin + grain, frontier.size());
                 for (std::size_t i = begin; i < end; ++i) {
-                    const FrontierNode &node = frontier[i];
-                    rules_.successorsInto(node.state, scenario_,
+                    const std::uint32_t node_idx = frontier[i];
+                    const SystemState *node_ptr;
+                    if (options.compaction) {
+                        store.stateInto(node_idx, decode_buf);
+                        node_ptr = &decode_buf;
+                    } else {
+                        node_ptr = &store.stateAt(node_idx);
+                    }
+                    const SystemState &node_state = *node_ptr;
+                    rules_.successorsInto(node_state, scenario_,
                                           options.canonicaliseTids,
                                           ws.succs);
 
                     if (ws.succs.empty() && options.checkDeadlock &&
                         !scenario_.freeRun &&
-                        !scenario_.finished(node.state)) {
+                        !scenario_.finished(node_state)) {
                         ws.candidates.push_back(
                             {Violation::Kind::Deadlock, nullptr,
-                             node.idx, depth, node.state.hash()});
+                             node_idx, depth, node_state.hash()});
                     }
+
+                    // The source state's hash is only needed to order
+                    // racing overflow edges; computed at most once
+                    // per node, and only for mutated models.
+                    std::uint64_t node_hash = 0;
+                    bool node_hash_valid = false;
 
                     for (auto &succ : ws.succs) {
                         ++ws.transitions;
                         ++ws.ruleFires[succ.rule->id];
                         symmetry_canon(succ.state);
 
-                        const std::uint64_t h = succ.state.hash();
-                        auto [succ_idx, is_new] =
-                            store.insert(succ.state, h, node.idx,
-                                         succ.rule->id, depth + 1);
+                        StateStore::BatchItem item;
+                        item.hash = succ.state.hash();
+                        item.state = std::move(succ.state);
+                        item.parent = node_idx;
+                        item.depth = depth + 1;
+                        item.rule = succ.rule->id;
+                        ws.batch.push_back(std::move(item));
 
-                        // Overflow is a property of the *edge*, not
-                        // of the target state, and which edge wins
-                        // the insert race is thread-dependent —
-                        // report it independently of is_new so the
-                        // verdict stays deterministic.
                         if (succ.overflow) {
-                            ws.candidates.push_back(
-                                {Violation::Kind::Overflow, nullptr,
-                                 succ_idx, depth + 1, h});
+                            if (!node_hash_valid) {
+                                node_hash = node_state.hash();
+                                node_hash_valid = true;
+                            }
+                            ws.overflows.push_back(
+                                {static_cast<std::uint32_t>(
+                                     ws.batch.size() - 1),
+                                 node_hash});
                         }
-                        if (!is_new)
-                            continue;
-                        if (options.checkInvariants) {
-                            if (const Conjunct *bad =
-                                    invariants_.firstFailure(succ.state,
-                                                             wctx)) {
-                                ws.candidates.push_back(
-                                    {Violation::Kind::Conjunct, bad,
-                                     succ_idx, depth + 1, h});
+
+                        if (store.size() + ws.batch.size() >=
+                                soft_cap ||
+                            ws.batch.size() >= kFlushBatch) {
+                            flushBatch(ws, wctx);
+                            if (store.size() >= options.maxStates) {
+                                cap_hit.store(
+                                    true, std::memory_order_relaxed);
+                                return;
                             }
                         }
-
-                        if (store.size() >= options.maxStates) {
-                            cap_hit.store(true,
-                                          std::memory_order_relaxed);
-                            return;
-                        }
-                        ws.next.push_back({succ_idx, succ.state});
                     }
                 }
+                flushBatch(ws, wctx);
             }
         };
 
@@ -358,11 +468,15 @@ Explorer::run(const ExploreOptions &options)
         if (violation_stopped || cap_stopped)
             break;
 
+        // Quiescent barrier hook: in compact mode this releases the
+        // state bytes of the level whose expansion just finished.
+        store.sealLevel();
         frontier.swap(next_frontier);
         ++depth;
     }
 
     result.numStates = store.size();
+    result.probeCollisions = store.probeCollisions();
     result.completed =
         frontier.empty() && !cap_stopped && !violation_stopped;
     return finish(result);

@@ -52,6 +52,31 @@ struct ExploreOptions {
      */
     bool symmetryReduction = false;
 
+    /**
+     * Hash-compaction (fingerprint-only) storage: the visited set
+     * keeps a second 64-bit verification fingerprint per state
+     * instead of the state bytes, and releases old BFS levels' state
+     * bytes as exploration advances — memory per state drops by
+     * roughly an order of magnitude, which is what makes the 4-device
+     * free-run space enumerable in RAM.  Counts and verdicts are
+     * exact up to fingerprint collisions (expected ~ n^2 / 2^65;
+     * detected probe-hash near-misses are reported via
+     * ExploreResult::probeCollisions).  Counterexample *traces*
+     * cannot be rebuilt in this mode: a violation is still found at
+     * the same minimal depth, but Violation::trace carries at most
+     * the final state and Violation::traceNote explains how to re-run
+     * for the full path.
+     */
+    bool compaction = false;
+
+    /**
+     * Pre-size the visited set for this many states (0 = default
+     * sizing): eliminates rehash pauses and keeps the probe load
+     * factor <= 0.5 through a run of the expected size.  A hint, not
+     * a cap — exploration continues past it.
+     */
+    std::uint64_t expectedStates = 0;
+
     /** Evaluate the invariant set on every reachable state. */
     bool checkInvariants = true;
 
@@ -106,8 +131,29 @@ struct Violation {
     std::uint32_t stateIndex = 0;
     std::uint32_t depth = 0;
 
-    /** Rule-labelled path from the initial state to the bad state. */
+    /**
+     * Kind::Overflow only: the rule whose channel push overflowed.
+     * Recorded from the violating *edge* itself, so it is correct
+     * even when that edge lands on an already-known state whose
+     * breadcrumb path runs through a different rule.
+     */
+    std::string overflowRule;
+
+    /**
+     * Rule-labelled path from the initial state to the bad state.
+     * For overflow violations the trace follows the overflowing
+     * edge's own parent and ends with that edge (see overflowRule),
+     * not the target state's breadcrumbs.  Empty or truncated when
+     * traceNote is set.
+     */
     std::vector<TraceStep> trace;
+
+    /**
+     * Non-empty when the trace could not be fully rebuilt (hash
+     * compaction releases breadcrumb states); explains what is shown
+     * and how to obtain the full path.
+     */
+    std::string traceNote;
 
     std::string describe() const;
 };
@@ -121,6 +167,15 @@ struct ExploreResult {
     std::uint64_t violationCount = 0; ///< violations seen (counted mode)
     std::optional<Violation> violation;
     double seconds = 0.0;
+
+    /**
+     * Probe-hash collisions the store detected and kept separate
+     * (see StateStore::probeCollisions).  A nonzero value in compact
+     * mode is the visible tail of the fingerprinting risk; each one
+     * would have been a silent state merge without the verification
+     * fingerprint.
+     */
+    std::uint64_t probeCollisions = 0;
 
     /** Per-rule firing counts, indexed by rule id. */
     std::vector<std::uint64_t> ruleFireCounts;

@@ -2,34 +2,57 @@
  * @file
  * Visited-state store of the explicit-state checker.
  *
- * The store is sharded for concurrency: a state's 64-bit fingerprint
+ * The store is sharded for concurrency: a state's 64-bit probe hash
  * routes it (top bits) to one of kNumShards lock-striped shards, each
- * of which is the classic Murphi layout — an open-addressing hash
- * table mapping fingerprints to indices in a dense per-shard entry
- * array, every entry keeping the state itself plus parent/rule
- * breadcrumbs so counterexample traces can be reconstructed.
+ * a power-of-two open-addressing table over a flat uint32_t bucket
+ * array.  Entry data is struct-of-arrays: parallel per-shard columns
+ * for the probe hash, the verification fingerprint (compact mode),
+ * parent/rule/depth breadcrumbs, and the state bytes themselves in a
+ * chunked arena of fixed-size blocks whose addresses never move.
+ * Shard growth rehashes from the stored probe hashes, never from
+ * state bytes.
+ *
+ * Two storage modes (StoreMode):
+ *
+ *  - Full: the classic Murphi layout.  States are kept verbatim, so
+ *    deduplication is exact and counterexample traces can be rebuilt
+ *    from the breadcrumbs.
+ *  - Compact: Murphi hash compaction.  Only a second 64-bit
+ *    verification fingerprint is kept per entry; the frontier's state
+ *    bytes live zero-RLE-compressed in a transient byte arena whose
+ *    old BFS levels are released (sealLevel), cutting memory per
+ *    state by roughly an order of magnitude.  A probe-hash collision
+ *    is *detected* by the fingerprint mismatch (counted in
+ *    probeCollisions()) and the states stay distinct; an undetected
+ *    merge requires both 64-bit values to collide — expected
+ *    occurrences ~ n^2 / 2^65 for n states.  Traces cannot be
+ *    rebuilt in this mode.
  *
  * State identifiers are (shard, offset) pairs packed into a u32:
  * the top kShardBits select the shard, the low kOffsetBits index the
- * shard's entry array.  Packed ids are stable for the lifetime of the
- * store and never collide with kNoParent.
+ * shard's entry columns.  Packed ids are stable for the lifetime of
+ * the store and never collide with kNoParent.
  *
- * Thread-safety: insert() may be called concurrently from any number
- * of threads.  entry() and the id-returning contract of insert() are
- * safe to use concurrently with inserts *to observe ids*, but the
- * returned Entry reference is only safe to dereference while no other
- * thread is inserting into the same shard (the dense entry array may
- * reallocate).  The parallel explorer therefore never reads entries
- * during a parallel expansion phase; traces are rebuilt between
- * depth barriers when the store is quiescent.
+ * Thread-safety: insert() and insertBatch() may be called
+ * concurrently from any number of threads.  stateAt()/stateInto()
+ * are safe concurrently with inserts *for ids published before the
+ * current expansion phase began* (the arena blocks holding them are
+ * fixed, and the block/offset spines never reallocate); the
+ * breadcrumb accessors parentAt()/depthAt()/ruleAt() and sealLevel()
+ * must only be used while the store is quiescent — the parallel
+ * explorer calls them between depth barriers.
  */
 
 #ifndef CXL_CHECKER_STATE_STORE_HH
 #define CXL_CHECKER_STATE_STORE_HH
 
 #include <atomic>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -37,6 +60,12 @@
 
 namespace cxl
 {
+
+/** Storage policy of a StateStore. */
+enum class StoreMode : std::uint8_t {
+    Full,    ///< keep every state; exact dedup; traces reconstructible
+    Compact, ///< hash compaction: 64-bit fingerprints instead of states
+};
 
 /** Sharded dense store of deduplicated states with BFS breadcrumbs. */
 class StateStore
@@ -55,18 +84,67 @@ class StateStore
     static constexpr std::uint32_t kOffsetMask =
         (1u << kOffsetBits) - 1;
 
-    struct Entry {
-        SystemState state;
-        std::uint32_t parent = kNoParent;
-        std::uint32_t depth = 0;  ///< BFS depth from the initial state
-        std::uint16_t ruleId = 0; ///< rule that produced this state
-    };
+    /** log2 of the states per full-mode arena block (~2 MB). */
+    static constexpr std::uint32_t kBlockBits = 13;
+    /** States per full-mode arena block. */
+    static constexpr std::uint32_t kBlockSize = 1u << kBlockBits;
 
-    /** @param initial_buckets total bucket hint, split across shards. */
-    explicit StateStore(std::size_t initial_buckets = 1 << 16);
+    /** log2 of the compact-mode byte-arena block size (256 KiB). */
+    static constexpr std::uint32_t kByteBlockBits = 18;
+    /** Compact-mode byte-arena block size. */
+    static constexpr std::uint32_t kByteBlockSize =
+        1u << kByteBlockBits;
 
     /**
-     * Insert a state if new (fingerprint computed internally).
+     * Upper bound on one zero-RLE-encoded state cell: 2-byte payload
+     * length plus, in the worst (incompressible) case, the literal
+     * bytes emitted in <=255-byte chunks with 2 bytes of pair
+     * overhead each.
+     */
+    static constexpr std::size_t kMaxEncodedState =
+        2 + sizeof(SystemState) + 2 * (sizeof(SystemState) / 255 + 1);
+
+    /**
+     * One pending insert of a batched flush.  The caller fills state,
+     * hash (the state's probe hash) and the breadcrumbs; insertBatch
+     * fills id and inserted.
+     */
+    struct BatchItem {
+        SystemState state;
+        std::uint64_t hash = 0;
+        std::uint32_t parent = kNoParent;
+        std::uint32_t depth = 0;
+        std::uint16_t rule = 0;
+        // Filled by insertBatch:
+        std::uint32_t id = 0;
+        bool inserted = false;
+
+      private:
+        friend class StateStore;
+        std::uint64_t verify_ = 0; ///< fingerprint (compact mode)
+        std::uint32_t next_ = 0;   ///< shard-chain scratch
+    };
+
+    /**
+     * @param initial_buckets total bucket hint, split across shards.
+     * @param mode Full (default) or Compact storage.
+     */
+    explicit StateStore(std::size_t initial_buckets = 1 << 16,
+                        StoreMode mode = StoreMode::Full);
+
+    StateStore(const StateStore &) = delete;
+    StateStore &operator=(const StateStore &) = delete;
+
+    /**
+     * Pre-size every shard for ~expected/kNumShards entries: bucket
+     * arrays sized for <= 0.5 load at the hint and entry columns
+     * reserved, so a run of the expected size performs no rehash and
+     * no column reallocation.  Callable only while quiescent.
+     */
+    void reserveStates(std::uint64_t expected);
+
+    /**
+     * Insert a state if new (probe hash computed internally).
      *
      * @return (packed id, inserted): id of the canonical entry for the
      *         state, and whether this call created it.
@@ -79,21 +157,86 @@ class StateStore
     }
 
     /**
-     * Insert with a precomputed fingerprint.  Parallel workers hash
+     * Insert with a precomputed probe hash.  Parallel workers hash
      * outside the shard lock and pass the value here so the lock only
-     * covers the probe/append.
+     * covers the probe/append.  (In compact mode the verification
+     * fingerprint is always computed internally from the state bytes —
+     * it is the identity, not a routing hint, so it cannot be forged.)
      */
     std::pair<std::uint32_t, bool>
     insert(const SystemState &state, std::uint64_t hash,
            std::uint32_t parent, std::uint16_t rule_id,
            std::uint32_t depth);
 
-    /** Entry for a packed id (see class comment for thread-safety). */
-    const Entry &
-    entry(std::uint32_t id) const
+    /**
+     * Batched insert: deduplicate/insert every item, taking each
+     * destination shard's lock once per batch instead of once per
+     * item.  Items are grouped by shard (counting sort on the hash's
+     * top bits) and processed in batch order within a shard, so
+     * duplicate items inside one batch resolve exactly as sequential
+     * inserts would.  Results are returned through item.id /
+     * item.inserted.
+     */
+    void insertBatch(BatchItem *items, std::size_t count);
+
+    /**
+     * Reference to the state bytes for a packed id; full mode only
+     * (compact-mode cells are compressed — use stateInto).  See the
+     * class comment for thread-safety.
+     */
+    const SystemState &
+    stateAt(std::uint32_t id) const
     {
-        return shards_[shardOf(id)].entries[id & kOffsetMask];
+        assert(mode_ == StoreMode::Full &&
+               "stateAt needs verbatim states; use stateInto");
+        return *blockState(shards_[shardOf(id)], id & kOffsetMask);
     }
+
+    /**
+     * Copy/decode the state bytes for a packed id into @p out.  Works
+     * in both modes; in compact mode the entry must still be retained
+     * (the explorer only reads ids of the frontier being expanded,
+     * which always are).
+     */
+    void stateInto(std::uint32_t id, SystemState &out) const;
+
+    /** True iff the state bytes of @p id are still readable (always,
+     * in full mode; in compact mode, until sealLevel releases the
+     * enclosing arena block). */
+    bool
+    stateRetained(std::uint32_t id) const
+    {
+        if (mode_ == StoreMode::Full)
+            return true;
+        const Shard &shard = shards_[shardOf(id)];
+        return stateOffAt(shard, id & kOffsetMask) >= shard.byteFloor;
+    }
+
+    /** Breadcrumb accessors; quiescent use only (the columns may
+     * reallocate during concurrent inserts). */
+    std::uint32_t
+    parentAt(std::uint32_t id) const
+    {
+        return shards_[shardOf(id)].parents[id & kOffsetMask];
+    }
+    std::uint32_t
+    depthAt(std::uint32_t id) const
+    {
+        return shards_[shardOf(id)].depths[id & kOffsetMask];
+    }
+    std::uint16_t
+    ruleAt(std::uint32_t id) const
+    {
+        return shards_[shardOf(id)].rules[id & kOffsetMask];
+    }
+
+    /**
+     * BFS level barrier hook; call only while quiescent.  In compact
+     * mode, releases the arena blocks of states older than the level
+     * that just finished expanding (their ids will never be read
+     * again) and records the new level boundary.  No-op in full mode.
+     */
+    void sealLevel();
 
     /** Total states across all shards. */
     std::size_t
@@ -101,6 +244,19 @@ class StateStore
     {
         return total_.load(std::memory_order_acquire);
     }
+
+    /** Storage mode selected at construction. */
+    StoreMode mode() const { return mode_; }
+
+    /**
+     * Probe-hash collisions observed so far: inserts whose 64-bit
+     * probe hash matched an existing entry holding a different state
+     * (full mode: state bytes differed; compact mode: verification
+     * fingerprint differed).  Each one is a state pair that
+     * probe-hash-only compaction would have merged silently.
+     * Quiescent use only.
+     */
+    std::uint64_t probeCollisions() const;
 
     /** Shard a packed id belongs to. */
     static constexpr std::uint32_t
@@ -110,18 +266,71 @@ class StateStore
     }
 
   private:
+    /** log2 of entries per chunk of the compact state-offset column. */
+    static constexpr std::uint32_t kOffChunkBits = 16;
+
     struct alignas(64) Shard {
         mutable std::mutex mutex;
-        std::vector<Entry> entries;
+        // SoA entry columns, indexed by offset.
+        std::vector<std::uint64_t> hashes;   ///< probe hashes
+        std::vector<std::uint64_t> verifies; ///< fingerprints (compact)
+        std::vector<std::uint32_t> parents;
+        std::vector<std::uint32_t> depths;
+        std::vector<std::uint16_t> rules;
+        /**
+         * State arena.  Full mode: fixed-slot blocks of kBlockSize
+         * verbatim states.  Compact mode: kByteBlockSize byte blocks
+         * holding zero-RLE cells located by the stateOffs column.
+         * Both spines are reserved to their maximum size up front so
+         * they never reallocate — concurrent readers may index them
+         * lock-free for entries published before their expansion
+         * phase began.
+         */
+        std::vector<std::unique_ptr<std::byte[]>> blocks;
+        /**
+         * Compact mode: per-entry arena byte offset, in fixed chunks
+         * (never reallocated) because workers read frontier offsets
+         * while peers append.
+         */
+        std::vector<std::unique_ptr<std::uint32_t[]>> stateOffs;
+        std::uint64_t byteCursor = 0; ///< compact: next free arena byte
+        std::uint64_t byteFloor = 0;  ///< compact: freed below this
+        std::uint64_t levelBoundaryByte = 0; ///< cursor at last seal
         /// Bucket content is entry offset + 1; 0 means empty.
         std::vector<std::uint32_t> buckets;
         std::uint64_t mask = 0;
+        std::uint32_t count = 0;
+        std::uint64_t collisions = 0;
     };
 
+    static const SystemState *
+    blockState(const Shard &shard, std::uint32_t off)
+    {
+        const std::byte *base = shard.blocks[off >> kBlockBits].get();
+        return std::launder(reinterpret_cast<const SystemState *>(
+            base + static_cast<std::size_t>(off & (kBlockSize - 1)) *
+                       sizeof(SystemState)));
+    }
+
+    static std::uint32_t
+    stateOffAt(const Shard &shard, std::uint32_t off)
+    {
+        return shard.stateOffs[off >> kOffChunkBits]
+                              [off & ((1u << kOffChunkBits) - 1)];
+    }
+
+    std::pair<std::uint32_t, bool>
+    probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
+                      const SystemState &state, std::uint64_t hash,
+                      std::uint64_t verify, std::uint32_t parent,
+                      std::uint16_t rule_id, std::uint32_t depth);
+
     static void growShard(Shard &shard);
+    static void sizeBuckets(Shard &shard, std::size_t cap);
 
     Shard shards_[kNumShards];
     std::atomic<std::uint64_t> total_{0};
+    StoreMode mode_;
 };
 
 } // namespace cxl

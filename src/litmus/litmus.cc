@@ -55,8 +55,10 @@ runLitmus(const LitmusTest &test)
     while (!frontier.empty()) {
         std::uint32_t idx = frontier.front();
         frontier.pop_front();
-        const SystemState state = store.entry(idx).state;
-        const std::uint32_t depth = store.entry(idx).depth;
+        // The store's arena blocks never move, so the reference stays
+        // valid across the inserts below.
+        const SystemState &state = store.stateAt(idx);
+        const std::uint32_t depth = store.depthAt(idx);
         max_depth = std::max(max_depth, depth);
 
         auto succs = rules.successors(state, test.scenario, false);
@@ -96,13 +98,13 @@ runLitmus(const LitmusTest &test)
         std::vector<TraceStep> trace;
         std::uint32_t cur = violation->stateIndex;
         while (cur != StateStore::kNoParent) {
-            const StateStore::Entry &e = store.entry(cur);
             TraceStep step;
-            step.state = e.state;
-            if (e.parent != StateStore::kNoParent)
-                step.ruleName = rules.rules()[e.ruleId].name;
+            step.state = store.stateAt(cur);
+            const std::uint32_t parent = store.parentAt(cur);
+            if (parent != StateStore::kNoParent)
+                step.ruleName = rules.rules()[store.ruleAt(cur)].name;
             trace.push_back(std::move(step));
-            cur = e.parent;
+            cur = parent;
         }
         std::reverse(trace.begin(), trace.end());
         violation->trace = std::move(trace);

@@ -101,6 +101,13 @@ RuleSet::baseRuleCount() const
                       [](const Rule &r) { return !r.mutated; }));
 }
 
+void
+RuleSet::addRule(Rule rule)
+{
+    rule.id = static_cast<std::uint16_t>(rules_.size());
+    rules_.push_back(std::move(rule));
+}
+
 const Rule *
 RuleSet::find(const std::string &name) const
 {

@@ -78,6 +78,14 @@ class RuleSet
     const Rule *find(const std::string &name) const;
 
     /**
+     * Append a custom rule (id assigned by the set).  Extension point
+     * for experiments and tests that need behaviour outside the
+     * ProtocolConfig space — e.g. deliberately overflowing a channel
+     * to exercise the checker's structural-violation reporting.
+     */
+    void addRule(Rule rule);
+
+    /**
      * Enumerate all successors of @p state.
      *
      * @param canonicalise relabel tids in each successor (used by the

@@ -43,6 +43,25 @@ renameChannel(InlineVec<T, N> &chan, TidRenamer &renamer)
         chan[i].tid = renamer.rename(chan[i].tid);
 }
 
+/**
+ * Relabel one device's tids through @p renamer, in the fixed channel
+ * order shared by SystemState::canonicaliseTids and the incremental
+ * per-device renaming of deviceCanonical (the two must agree, or
+ * permuted images of one state would canonicalise differently).
+ */
+void
+renameDeviceTids(DeviceState &d, TidRenamer &renamer)
+{
+    renameChannel(d.d2hReq, renamer);
+    renameChannel(d.d2hRsp, renamer);
+    renameChannel(d.d2hData, renamer);
+    renameChannel(d.h2dReq, renamer);
+    renameChannel(d.h2dRsp, renamer);
+    renameChannel(d.h2dData, renamer);
+    if (!d.buffer.isEmpty())
+        d.buffer.tid = renamer.rename(d.buffer.tid);
+}
+
 template <typename T, std::size_t N>
 std::string
 channelText(const InlineVec<T, N> &chan)
@@ -62,17 +81,8 @@ void
 SystemState::canonicaliseTids()
 {
     TidRenamer renamer;
-    for (int i = 0; i < ndev; ++i) {
-        DeviceState &d = dev[i];
-        renameChannel(d.d2hReq, renamer);
-        renameChannel(d.d2hRsp, renamer);
-        renameChannel(d.d2hData, renamer);
-        renameChannel(d.h2dReq, renamer);
-        renameChannel(d.h2dRsp, renamer);
-        renameChannel(d.h2dData, renamer);
-        if (!d.buffer.isEmpty())
-            d.buffer.tid = renamer.rename(d.buffer.tid);
-    }
+    for (int i = 0; i < ndev; ++i)
+        renameDeviceTids(dev[i], renamer);
     counter = renamer.liveCount();
 }
 
@@ -148,11 +158,55 @@ SystemState::deviceCanonical(bool canon_tids,
     if (canon_tids && !input_tid_canonical)
         best.canonicaliseTids();
 
+    // Each non-identity image is built incrementally — host prefix
+    // first, then one device block at a time (value remap + streaming
+    // tid rename) — and compared against `best` as it grows, so a
+    // losing permutation is abandoned at its first greater byte
+    // instead of paying for a full permute + tid rescan + compare.
+    // This is the symmetry-reduction hot path: the explorer maps every
+    // generated successor through here, ndev! images each.
+    //
+    // The transaction counter needs no per-image recomputation: it is
+    // the live-tid count, which is invariant under device relabelling,
+    // so every image shares best's value.
+    SystemState cand;
+    cand.hstate = hstate;
+    cand.counter = best.counter;
+    cand.ndev = ndev;
     while (std::next_permutation(perm, perm + ndev)) {
-        SystemState cand = permutedDevices(perm);
-        if (canon_tids)
-            cand.canonicaliseTids();
-        if (cand.bytewiseLess(best))
+        // Inverse permutation: old index -> new index, for the device
+        // ids embedded in store values and in hreq.
+        std::uint8_t inv[kMaxDevices] = {};
+        for (int n = 0; n < ndev; ++n)
+            inv[perm[n]] = static_cast<std::uint8_t>(n);
+
+        cand.hval = remapVal(hval, inv, ndev);
+        cand.hreq =
+            hreq ? static_cast<std::uint8_t>(inv[hreq - 1] + 1) : 0;
+
+        int cmp = std::memcmp(&cand, &best, offsetof(SystemState, dev));
+        if (cmp > 0)
+            continue;
+        bool decided_less = cmp < 0;
+
+        TidRenamer renamer;
+        bool losing = false;
+        for (int n = 0; n < ndev; ++n) {
+            DeviceState &d = cand.dev[n];
+            d = dev[perm[n]];
+            remapDeviceVals(d, inv, ndev);
+            if (canon_tids)
+                renameDeviceTids(d, renamer);
+            if (!decided_less) {
+                cmp = std::memcmp(&d, &best.dev[n], sizeof(DeviceState));
+                if (cmp > 0) {
+                    losing = true;
+                    break;
+                }
+                decided_less = cmp < 0;
+            }
+        }
+        if (!losing && decided_less)
             best = cand;
     }
     return best;

@@ -138,15 +138,28 @@ struct SystemState {
     }
 
     /**
-     * 64-bit fingerprint of the canonical byte encoding (active
-     * prefix only).  Inline: the explorer hashes every generated
-     * successor, and the sharded state store routes on the top bits
-     * and probes on the low bits of this value.
+     * 64-bit probe hash of the canonical byte encoding (active prefix
+     * only).  Inline: the explorer hashes every generated successor,
+     * and the sharded state store routes on the top bits and probes on
+     * the low bits of this value.
      */
     std::uint64_t
     hash() const
     {
         return hashBytes(this, activeBytes());
+    }
+
+    /**
+     * Independent 64-bit verification fingerprint over the same bytes
+     * (different seed and multipliers than hash()).  The
+     * hash-compaction state store keeps this value per entry instead
+     * of the state itself; two states are merged only when *both*
+     * hash() and fingerprint() collide.
+     */
+    std::uint64_t
+    fingerprint() const
+    {
+        return fingerprintBytes(this, activeBytes());
     }
 
     /**

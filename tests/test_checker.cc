@@ -29,9 +29,9 @@ TEST(StateStore, InsertDeduplicates)
     EXPECT_FALSE(dup);
     EXPECT_EQ(ia, ia2);
     EXPECT_EQ(store.size(), 2u);
-    EXPECT_EQ(store.entry(ib).parent, ia);
-    EXPECT_EQ(store.entry(ib).ruleId, 3);
-    EXPECT_EQ(store.entry(ib).depth, 1);
+    EXPECT_EQ(store.parentAt(ib), ia);
+    EXPECT_EQ(store.ruleAt(ib), 3);
+    EXPECT_EQ(store.depthAt(ib), 1u);
 }
 
 TEST(StateStore, DepthWiderThanSixteenBits)
@@ -48,9 +48,9 @@ TEST(StateStore, DepthWiderThanSixteenBits)
     auto [child, cnew] = store.insert(child_state, parent, 1, 70000);
     ASSERT_TRUE(pnew);
     ASSERT_TRUE(cnew);
-    EXPECT_EQ(store.entry(parent).depth, 65535u);
-    EXPECT_EQ(store.entry(child).depth, 70000u);
-    EXPECT_EQ(store.entry(child).parent, parent);
+    EXPECT_EQ(store.depthAt(parent), 65535u);
+    EXPECT_EQ(store.depthAt(child), 70000u);
+    EXPECT_EQ(store.parentAt(child), parent);
 }
 
 TEST(StateStore, PackedIdsRoundTripAcrossShards)
@@ -72,13 +72,87 @@ TEST(StateStore, PackedIdsRoundTripAcrossShards)
     }
     bool multiple_shards = false;
     for (const auto &[idx, s] : inserted) {
-        EXPECT_TRUE(store.entry(idx).state == s);
+        EXPECT_TRUE(store.stateAt(idx) == s);
         if (StateStore::shardOf(idx) != StateStore::shardOf(inserted[0].first))
             multiple_shards = true;
     }
     EXPECT_TRUE(multiple_shards)
         << "64 distinct fingerprints should spread across shards";
     EXPECT_EQ(store.size(), 64u);
+}
+
+TEST(StateStore, GrowShardRehashesAcrossManyDoublings)
+{
+    // Regression for the resize path: force every insert onto one
+    // shard (forged probe hashes with a fixed top nibble) and push it
+    // through many bucket-array doublings.  After the rehashes every
+    // entry must still be found by a duplicate probe, including the
+    // forged-hash entries whose slots moved each time.
+    for (StoreMode mode : {StoreMode::Full, StoreMode::Compact}) {
+        StateStore store(16, mode);
+        const int n = 50000; // 16 -> 65536+ buckets on the one shard
+        auto forged = [](int i) {
+            // Top nibble zero routes everything to shard 0; the rest
+            // spreads probes over the bucket range.
+            return mix64(static_cast<std::uint64_t>(i)) >> 4;
+        };
+        for (int i = 0; i < n; ++i) {
+            SystemState s;
+            s.counter = static_cast<std::uint8_t>(i & 0xff);
+            s.dev[0].val = static_cast<Val>((i >> 8) & 0xff);
+            s.dev[1].val = static_cast<Val>(i >> 16);
+            auto [idx, is_new] = store.insert(
+                s, forged(i), StateStore::kNoParent, 0, 0);
+            ASSERT_TRUE(is_new) << i;
+            ASSERT_EQ(StateStore::shardOf(idx), 0u) << i;
+        }
+        EXPECT_EQ(store.size(), static_cast<std::size_t>(n));
+        for (int i = 0; i < n; i += 97) {
+            SystemState s;
+            s.counter = static_cast<std::uint8_t>(i & 0xff);
+            s.dev[0].val = static_cast<Val>((i >> 8) & 0xff);
+            s.dev[1].val = static_cast<Val>(i >> 16);
+            auto [idx, is_new] = store.insert(
+                s, forged(i), StateStore::kNoParent, 0, 0);
+            (void)idx;
+            EXPECT_FALSE(is_new)
+                << "entry " << i << " lost in a rehash";
+        }
+        EXPECT_EQ(store.size(), static_cast<std::size_t>(n));
+    }
+}
+
+TEST(StateStore, BatchInsertMatchesSequentialInserts)
+{
+    // insertBatch must deduplicate exactly like a sequence of single
+    // inserts, including duplicates *within* one batch.
+    StateStore batched;
+    StateStore sequential;
+    std::vector<StateStore::BatchItem> items(300);
+    for (int i = 0; i < 300; ++i) {
+        SystemState s;
+        s.counter = static_cast<std::uint8_t>(i % 100); // 3x duplicates
+        s.dev[0].pc = static_cast<std::uint8_t>((i % 100) >> 4);
+        items[i].state = s;
+        items[i].hash = s.hash();
+        items[i].parent = StateStore::kNoParent;
+        items[i].depth = 7;
+        items[i].rule = 5;
+    }
+    batched.insertBatch(items.data(), items.size());
+    for (int i = 0; i < 300; ++i) {
+        auto [idx, is_new] =
+            sequential.insert(items[i].state, items[i].hash,
+                              StateStore::kNoParent, 5, 7);
+        EXPECT_EQ(items[i].id, idx) << i;
+        EXPECT_EQ(items[i].inserted, is_new) << i;
+    }
+    EXPECT_EQ(batched.size(), 100u);
+    EXPECT_EQ(batched.size(), sequential.size());
+    for (int i = 0; i < 300; ++i) {
+        EXPECT_TRUE(batched.stateAt(items[i].id) == items[i].state);
+        EXPECT_EQ(batched.depthAt(items[i].id), 7u);
+    }
 }
 
 TEST(StateStore, GrowsPastInitialCapacity)
@@ -248,6 +322,67 @@ TEST_F(ExplorerTest, DeadlockDetected)
     ExploreResult res = ex.run(opt);
     ASSERT_TRUE(res.violation.has_value());
     EXPECT_EQ(res.violation->kind, Violation::Kind::Deadlock);
+}
+
+TEST_F(ExplorerTest, OverflowTraceEndsWithTheOverflowingEdge)
+{
+    // ROADMAP item-6 wart: overflow is reported per *edge*, but the
+    // rebuilt trace used to follow the target state's breadcrumbs, so
+    // an overflow edge landing on an already-known state printed a
+    // path that never fired the overflowing rule.  Build a model
+    // where exactly that happens: "Fill" queues messages until the
+    // channel is full, and "Burst" then pushes into the full channel,
+    // overflowing with *no state change* — the target is the (known)
+    // source state itself.
+    RuleSet custom(config); // base rules are inert with empty programs
+    Rule fill;
+    fill.name = "Fill";
+    fill.mutated = true;
+    fill.guard = [](const SystemState &s, const Context &) {
+        return !s.dev[0].d2hReq.full();
+    };
+    fill.apply = [](SystemState &s, const Context &) {
+        return s.dev[0].d2hReq.pushBack({D2HReqOp::RdShared, 0});
+    };
+    custom.addRule(fill);
+    Rule burst;
+    burst.name = "Burst";
+    burst.mutated = true;
+    burst.guard = [](const SystemState &s, const Context &) {
+        return s.dev[0].d2hReq.full();
+    };
+    burst.apply = [](SystemState &s, const Context &) {
+        return s.dev[0].d2hReq.pushBack({D2HReqOp::RdShared, 0});
+    };
+    custom.addRule(burst);
+
+    Scenario sc;
+    sc.initial = initialAllInvalid(0); // empty programs: only the
+                                       // custom rules can fire
+    Explorer ex(custom, sc, invariants);
+    ExploreOptions opt;
+    opt.checkInvariants = false; // the crafted states are not legal
+    opt.checkDeadlock = false;
+    ExploreResult res = ex.run(opt);
+
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_EQ(res.violation->kind, Violation::Kind::Overflow);
+    EXPECT_EQ(res.violation->overflowRule, "Burst");
+    EXPECT_NE(res.violation->describe().find("Burst"),
+              std::string::npos);
+    // Depth 4: three Fill edges to the full-channel state, then the
+    // overflowing Burst edge.
+    EXPECT_EQ(res.violation->depth, 4u);
+    ASSERT_EQ(res.violation->trace.size(), 5u);
+    EXPECT_TRUE(res.violation->trace.front().ruleName.empty());
+    EXPECT_EQ(res.violation->trace.back().ruleName, "Burst");
+    for (std::size_t k = 1; k + 1 < res.violation->trace.size(); ++k)
+        EXPECT_EQ(res.violation->trace[k].ruleName, "Fill");
+    // The overflowing push is dropped, so the final step lands on the
+    // same (already known) state it left from.
+    EXPECT_TRUE(res.violation->trace[3].state ==
+                res.violation->trace[4].state);
+    EXPECT_TRUE(res.violation->traceNote.empty());
 }
 
 TEST_F(ExplorerTest, FreeRunCoversEveryDeviceStateAndHostState)
