@@ -1,28 +1,27 @@
 /**
  * @file
  * Shared helpers for the bench harnesses that regenerate the paper's
- * tables and figures: the section banner, peak-RSS probing, and a
- * tiny JSON emitter behind the shared `--json <path>` flag so every
- * harness can drop a machine-readable BENCH_*.json next to its human
- * output (states, transitions, wall seconds, states/sec, peak RSS),
- * letting CI track the perf trajectory across PRs.
+ * tables and figures.  The JSON emitter and peak-RSS probe moved to
+ * src/support (json.hh / resource.hh) when the CheckResult renderers
+ * started needing them; this header re-exports them under the
+ * historical cxl::bench names so harness code reads the same.
  */
 
 #ifndef CXL_BENCH_BENCH_COMMON_HH
 #define CXL_BENCH_BENCH_COMMON_HH
 
-#include <cinttypes>
-#include <cstdint>
 #include <cstdio>
 #include <string>
-#include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
+#include "support/json.hh"
+#include "support/resource.hh"
 
 namespace cxl::bench
 {
+
+using cxl::JsonObject;
+using cxl::peakRssBytes;
+using cxl::writeJsonFile;
 
 /** Print a section banner in the harness output. */
 inline void
@@ -33,128 +32,6 @@ banner(const std::string &title)
                 "================================================="
                 "=====================\n",
                 title.c_str());
-}
-
-/** Peak resident set size of this process so far, in bytes (0 when
- * the platform offers no getrusage). */
-inline std::uint64_t
-peakRssBytes()
-{
-#if defined(__unix__) || defined(__APPLE__)
-    struct rusage usage{};
-    if (getrusage(RUSAGE_SELF, &usage) != 0)
-        return 0;
-#if defined(__APPLE__)
-    return static_cast<std::uint64_t>(usage.ru_maxrss);
-#else
-    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
-#endif
-#else
-    return 0;
-#endif
-}
-
-/**
- * Minimal JSON object builder for the bench outputs.  Insertion
- * order is preserved; values are numbers, strings, booleans, or
- * pre-rendered JSON (for nested arrays of row objects).
- */
-class JsonObject
-{
-  public:
-    JsonObject &
-    num(const std::string &key, double value)
-    {
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.6g", value);
-        return raw(key, buf);
-    }
-
-    JsonObject &
-    num(const std::string &key, std::uint64_t value)
-    {
-        char buf[24];
-        std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-        return raw(key, buf);
-    }
-
-    JsonObject &
-    str(const std::string &key, const std::string &value)
-    {
-        return raw(key, quote(value));
-    }
-
-    JsonObject &
-    boolean(const std::string &key, bool value)
-    {
-        return raw(key, value ? "true" : "false");
-    }
-
-    /** Attach an already-rendered JSON value (object/array). */
-    JsonObject &
-    raw(const std::string &key, const std::string &rendered)
-    {
-        if (!body_.empty())
-            body_ += ", ";
-        body_ += quote(key) + ": " + rendered;
-        return *this;
-    }
-
-    std::string render() const { return "{" + body_ + "}"; }
-
-    /** Render a JSON array from pre-rendered element values. */
-    static std::string
-    array(const std::vector<std::string> &elements)
-    {
-        std::string txt = "[";
-        for (std::size_t i = 0; i < elements.size(); ++i) {
-            if (i)
-                txt += ", ";
-            txt += elements[i];
-        }
-        return txt + "]";
-    }
-
-  private:
-    static std::string
-    quote(const std::string &s)
-    {
-        std::string out = "\"";
-        for (char c : s) {
-            switch (c) {
-              case '"': out += "\\\""; break;
-              case '\\': out += "\\\\"; break;
-              case '\n': out += "\\n"; break;
-              case '\t': out += "\\t"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-            }
-        }
-        return out + "\"";
-    }
-
-    std::string body_;
-};
-
-/** Write @p json to @p path; reports failure on stderr. */
-inline bool
-writeJsonFile(const std::string &path, const JsonObject &json)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
-    }
-    const std::string txt = json.render() + "\n";
-    std::fwrite(txt.data(), 1, txt.size(), f);
-    std::fclose(f);
-    return true;
 }
 
 } // namespace cxl::bench

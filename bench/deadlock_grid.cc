@@ -5,16 +5,16 @@
  *
  * For every pair of two-instruction programs from {Load, Store,
  * Evict}^2 and two initial states, exhaustively explore all
- * interleavings and require that every maximal path ends with both
- * programs retired and all channels drained.
+ * interleavings through one CheckSession and require that every
+ * maximal path ends with both programs retired and all channels
+ * drained.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
+#include "api/options.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
-#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -44,7 +44,9 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    const int devices = deviceCountOption(args, kMaxDevices);
+    api::StandardOptions opts =
+        api::standardOptions(args, "BENCH_deadlock_grid.json");
+    const int devices = opts.devices;
 
     bench::banner("Deadlock freedom over the program grid, " +
                   std::to_string(devices) +
@@ -57,9 +59,7 @@ main(int argc, char **argv)
                     devices);
     }
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config, devices);
-    InvariantSet invariants = InvariantSet::full(config, devices);
+    CheckSession session(opts.engine);
 
     struct Init {
         const char *name;
@@ -72,6 +72,8 @@ main(int argc, char **argv)
 
     TextTable table({"initial state", "program pairs", "total states",
                      "deadlocks", "violations"});
+    std::vector<std::string> json_rows;
+    double total_seconds = 0.0;
 
     bool ok = true;
     for (const Init &init : inits) {
@@ -85,16 +87,15 @@ main(int argc, char **argv)
                 sc.program[0] = programFromIndex(p1);
                 sc.program[1] = programFromIndex(p2);
 
-                Explorer ex(rules, sc, invariants);
-                ExploreOptions opt;
-                opt.checkDeadlock = true;
-                opt.numThreads = threadCountOption(args);
-                ExploreResult res = ex.run(opt);
-                total_states += res.numStates;
+                CheckRequest req;
+                req.inlineScenario = sc;
+                CheckResult res = session.run(req);
+                total_states += res.states;
+                total_seconds += res.seconds;
                 ++pairs;
                 if (res.violation) {
-                    if (res.violation->kind ==
-                        Violation::Kind::Deadlock) {
+                    if (res.verdict ==
+                        CheckResult::Verdict::Deadlocked) {
                         ++deadlocks;
                     } else {
                         ++violations;
@@ -102,6 +103,7 @@ main(int argc, char **argv)
                     std::printf("  %s from %s: %s\n", sc.name.c_str(),
                                 init.name,
                                 res.violation->describe().c_str());
+                    json_rows.push_back(res.renderJson());
                 }
             }
         }
@@ -110,6 +112,14 @@ main(int argc, char **argv)
                       std::to_string(total_states),
                       std::to_string(deadlocks),
                       std::to_string(violations)});
+        bench::JsonObject row;
+        row.str("initial_state", init.name)
+            .num("program_pairs", static_cast<std::uint64_t>(pairs))
+            .num("total_states", total_states)
+            .num("deadlocks", static_cast<std::uint64_t>(deadlocks))
+            .num("violations",
+                 static_cast<std::uint64_t>(violations));
+        json_rows.push_back(row.render());
     }
     std::printf("%s", table.render().c_str());
 
@@ -118,6 +128,17 @@ main(int argc, char **argv)
         "wedge the\nprotocol: every interleaving retires both programs "
         "and drains all\nchannels.  (The detector itself is exercised "
         "by a crafted stuck state\nin tests/test_checker.cc.)\n");
+
+    if (opts.json) {
+        bench::JsonObject json;
+        json.str("bench", "deadlock_grid")
+            .num("devices", static_cast<std::uint64_t>(devices))
+            .num("total_seconds", total_seconds)
+            .num("peak_rss_bytes", bench::peakRssBytes())
+            .boolean("all_ok", ok)
+            .raw("rows", bench::JsonObject::array(json_rows));
+        bench::writeJsonFile(opts.jsonPath, json);
+    }
 
     std::printf("\nDeadlock grid: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;

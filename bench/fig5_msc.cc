@@ -4,13 +4,15 @@
  * coherence violation that arises when the snoop-pushes-GO rule is
  * relaxed (the chart the paper reproduces from the CXL webinar), and,
  * for contrast, the correct flow in which device 2 takes the GO before
- * the snoop.
+ * the snoop.  Both guided walks run through one CheckSession: the
+ * violating one under the registry entry's relaxed configuration, the
+ * correct one with a config override.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "litmus/litmus.hh"
 #include "litmus/msc.hh"
 
 using namespace cxl;
@@ -21,22 +23,17 @@ main()
     bench::banner("Figure 5: message-sequence chart of the "
                   "snoop-pushes-GO violation");
 
-    ProtocolConfig config;
-    config.relaxSnoopPushesGo = true;
-    RuleSet rules(config);
-    Scenario sc;
-    sc.initial = initialAllInvalid(0);
-    sc.program[0] = {Instr::Store};
-    sc.program[1] = {Instr::Load};
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "snoop-pushes-go"; // Store vs Load, relaxed model
 
-    auto violating = runGuided(
-        rules, sc,
-        {"InvalidStore1", "InvalidLoad2", "HostInvalidRdShared2",
-         "HostSharedRdOwnSnp1", "ISADSnpInv2", "ISAD_GO_Data2",
-         "HostMA_RspIHitI1", "IMAD_GO_Data1"});
+    GuidedRun violating = session.guided(
+        req, {"InvalidStore1", "InvalidLoad2", "HostInvalidRdShared2",
+              "HostSharedRdOwnSnp1", "ISADSnpInv2", "ISAD_GO_Data2",
+              "HostMA_RspIHitI1", "IMAD_GO_Data1"});
 
     std::printf("%s\n",
-                renderMsc(violating,
+                renderMsc(violating.steps,
                           "VIOLATING FLOW (ISADSnpInv2 processes the "
                           "snoop ahead of the pending GO):")
                     .c_str());
@@ -46,22 +43,23 @@ main()
     // The correct flow: device 2 honours Snoop-pushes-GO, taking the
     // GO (-> ISD), then the snoop (-> ISDI, honest RspIHitSE), then
     // the read-once data.
-    RuleSet correct_rules(ProtocolConfig::correct());
-    auto correct = runGuided(
-        correct_rules, sc,
+    CheckRequest correct_req = req;
+    correct_req.config = ProtocolConfig::correct();
+    GuidedRun correct = session.guided(
+        correct_req,
         {"InvalidStore1", "InvalidLoad2", "HostInvalidRdShared2",
          "HostSharedRdOwnSnp1", "ISAD_GO2", "ISDSnpInv2", "ISDI_Data2",
          "HostMA_RspIHitSE1", "IMAD_GO_Data1"});
 
     std::printf("\n%s\n",
-                renderMsc(correct,
+                renderMsc(correct.steps,
                           "CORRECT FLOW (snoop waits behind the GO; "
                           "device 2 ends invalid):")
                     .c_str());
 
-    bool ok = !swmrHolds(violating.back().state) &&
-              swmrHolds(correct.back().state) &&
-              correct.back().state.dev[1].state == DState::I;
+    bool ok = !swmrHolds(violating.steps.back().state) &&
+              swmrHolds(correct.steps.back().state) &&
+              correct.steps.back().state.dev[1].state == DState::I;
     std::printf("Figure 5 reproduction: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

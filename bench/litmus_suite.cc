@@ -2,13 +2,14 @@
  * @file
  * E5 — runs the full litmus suite of paper Section 5.1 (the artifact's
  * eight scenarios plus the two table walks) and the Section 5.2
- * relaxation tests, printing one result row per test.
+ * relaxation tests through one CheckSession, printing one result row
+ * per test.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "litmus/litmus.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -17,14 +18,15 @@ namespace
 {
 
 bool
-runSuite(const std::vector<LitmusTest> &suite, const char *title)
+runSuite(CheckSession &session, const std::vector<LitmusTest> &suite,
+         const char *title)
 {
     cxl::bench::banner(title);
     TextTable table({"litmus test", "result", "states", "transitions",
                      "finals", "violation"});
     bool all_ok = true;
     for (const LitmusTest &test : suite) {
-        LitmusOutcome out = runLitmus(test);
+        LitmusOutcome out = session.litmus(test);
         all_ok = all_ok && out.passed;
         std::string violation = "-";
         if (out.explore.violation) {
@@ -48,11 +50,12 @@ runSuite(const std::vector<LitmusTest> &suite, const char *title)
 int
 main()
 {
+    CheckSession session;
     bool ok = true;
-    ok &= runSuite(builtinLitmusSuite(),
+    ok &= runSuite(session, builtinLitmusSuite(),
                    "Section 5.1 litmus tests (every interleaving "
                    "explored; invariants checked on every state)");
-    ok &= runSuite(restrictionRelaxationSuite(),
+    ok &= runSuite(session, restrictionRelaxationSuite(),
                    "Section 5.2 restriction-relaxation tests (each "
                    "relaxed model must reach its violation)");
     std::printf("\nLitmus suite: %s\n", ok ? "PASS" : "FAIL");

@@ -15,10 +15,10 @@
 
 #include <cstdio>
 
+#include "api/check.hh"
+#include "api/options.hh"
 #include "bench_common.hh"
-#include "obligation/matrix.hh"
 #include "obligation/universe.hh"
-#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -27,23 +27,35 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    const int devices = deviceCountOption(args, kMaxDevices);
+    api::StandardOptions opts =
+        api::standardOptions(args, "BENCH_obligation_matrix.json");
+    const int devices = opts.devices;
 
     bench::banner("Proof-obligation matrix (paper Fig. 1): "
                   "inv(s) ∧ rule_i(s,s') ⟹ inv_j(s'), " +
                   std::to_string(devices) + " devices");
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config, devices);
-    Scenario scenario = Scenario::freeRunScenario(devices);
+    CheckSession session(opts.engine);
 
     // --- 1. The paper's Section 6 counterexample -----------------------
+    // The witness state satisfies bare SWMR; firing IMA_GO1 from it
+    // violates it.  The guided walk runs through the session's cached
+    // rule set for the correct config.
     SystemState witness = swmrNonInductiveWitness(0, devices);
-    Context ctx{&scenario};
-    const Rule *ima_go = rules.find("IMA_GO1");
+    Scenario witness_sc = Scenario::freeRunScenario(devices);
+    witness_sc.name = "swmr_non_inductive_witness";
+    witness_sc.initial = witness;
+    bool fired = false;
     SystemState post = witness;
-    bool fired = ima_go && ima_go->guard(witness, ctx) &&
-                 ima_go->apply(post, ctx);
+    try {
+        CheckRequest req;
+        req.inlineScenario = witness_sc;
+        GuidedRun walk = session.guided(req, {"IMA_GO1"});
+        post = walk.steps.back().state;
+        fired = true;
+    } catch (const std::exception &) {
+        fired = false;
+    }
     std::printf(
         "Paper witness  <DCache1=(0,IMA), H2DRsp1=[(GO,M,0)], "
         "DCache2=(0,M)>:\n"
@@ -56,57 +68,65 @@ main(int argc, char **argv)
     // --- 2/3. Matrix runs over invariant iterations --------------------
     struct Iteration {
         const char *name;
-        InvariantSet inv;
+        std::vector<std::string> families; ///< empty = full invariant
     };
-    InvariantSet full = InvariantSet::full(config, devices);
-    std::vector<Iteration> iterations;
-    iterations.push_back({"it0: SWMR only (Def. 6.1)",
-                          InvariantSet::swmrOnly(devices)});
-    iterations.push_back(
+    const std::vector<Iteration> iterations = {
+        {"it0: SWMR only (Def. 6.1)", {"swmr"}},
         {"it1: + paper's 4 sample families",
-         full.filtered({"swmr", "transient_swmr", "snoop_honesty",
-                        "channel_singleton", "data_conflict"})});
-    iterations.push_back(
+         {"swmr", "transient_swmr", "snoop_honesty",
+          "channel_singleton", "data_conflict"}},
         {"it2: + directory/shape/progress",
-         full.filtered({"swmr", "transient_swmr", "snoop_honesty",
-                        "channel_singleton", "data_conflict",
-                        "directory", "host_transient", "message_shape",
-                        "request_state", "progress", "buffer",
-                        "tid_discipline"})});
-    iterations.push_back({"it3: + ordering refinements (full)", full});
+         {"swmr", "transient_swmr", "snoop_honesty",
+          "channel_singleton", "data_conflict", "directory",
+          "host_transient", "message_shape", "request_state",
+          "progress", "buffer", "tid_discipline"}},
+        {"it3: + ordering refinements (full)", {}},
+    };
 
     TextTable table({"invariant iteration", "conjuncts", "universe",
                      "cells (rules x conj)", "rule firings",
                      "failing cells"});
+    std::vector<std::string> json_rows;
 
+    std::size_t num_rules = 0, full_conjuncts = 0;
     std::uint64_t last_failed = 0;
     for (const Iteration &it : iterations) {
-        UniverseOptions opt;
-        auto universe =
-            buildUniverse(rules, scenario, it.inv, opt, nullptr);
-        MatrixResult res = checkObligationMatrix(rules, scenario,
-                                                 it.inv, universe, {});
-        table.addRow({it.name, std::to_string(it.inv.size()),
-                      std::to_string(universe.size()),
-                      std::to_string(res.totalCells()),
-                      std::to_string(res.totalFirings),
-                      std::to_string(res.failedCellCount())});
-        last_failed = res.failedCellCount();
+        ObligationRequest req;
+        req.devices = devices;
+        req.families = it.families;
+        req.matrix.threads = opts.engine.threads;
+        ObligationResult res = session.obligations(req);
+        table.addRow({it.name, std::to_string(res.numConjuncts),
+                      std::to_string(res.universeSize),
+                      std::to_string(res.matrix.totalCells()),
+                      std::to_string(res.matrix.totalFirings),
+                      std::to_string(res.matrix.failedCellCount())});
+        last_failed = res.matrix.failedCellCount();
+        num_rules = res.numRules;
+        full_conjuncts = res.numConjuncts;
+        bench::JsonObject row;
+        row.str("name", it.name).raw("result", res.renderJson());
+        json_rows.push_back(row.render());
     }
 
     // Reachable closure: fully discharged.
-    UniverseOptions reach_opt;
-    reach_opt.perturbationsPerSeed = 0;
-    auto reachable =
-        buildUniverse(rules, scenario, full, reach_opt, nullptr);
-    MatrixResult reach_res =
-        checkObligationMatrix(rules, scenario, full, reachable, {});
+    ObligationRequest reach_req;
+    reach_req.devices = devices;
+    reach_req.universe.perturbationsPerSeed = 0;
+    reach_req.matrix.threads = opts.engine.threads;
+    ObligationResult reach_res = session.obligations(reach_req);
     table.addRow({"full inv, reachable closure only",
-                  std::to_string(full.size()),
-                  std::to_string(reachable.size()),
-                  std::to_string(reach_res.totalCells()),
-                  std::to_string(reach_res.totalFirings),
-                  std::to_string(reach_res.failedCellCount())});
+                  std::to_string(reach_res.numConjuncts),
+                  std::to_string(reach_res.universeSize),
+                  std::to_string(reach_res.matrix.totalCells()),
+                  std::to_string(reach_res.matrix.totalFirings),
+                  std::to_string(reach_res.matrix.failedCellCount())});
+    {
+        bench::JsonObject row;
+        row.str("name", "full inv, reachable closure only")
+            .raw("result", reach_res.renderJson());
+        json_rows.push_back(row.render());
+    }
 
     std::printf("\n%s", table.render().c_str());
 
@@ -119,11 +139,22 @@ main(int argc, char **argv)
         "796 conjuncts x 68 rules = 53,332 lemmas; our %zu x %zu = %zu\n"
         "cells are checked in milliseconds per run, which is the\n"
         "methodological payoff of the explicit-state substitution.\n",
-        rules.rules().size(), full.size(),
-        rules.rules().size() * full.size());
+        num_rules, full_conjuncts, num_rules * full_conjuncts);
 
     bool ok = swmrHolds(witness) && fired && !swmrHolds(post) &&
-              reach_res.failedCellCount() == 0 && last_failed > 0;
+              reach_res.matrix.failedCellCount() == 0 &&
+              last_failed > 0;
+
+    if (opts.json) {
+        bench::JsonObject json;
+        json.str("bench", "obligation_matrix")
+            .num("devices", static_cast<std::uint64_t>(devices))
+            .num("peak_rss_bytes", bench::peakRssBytes())
+            .boolean("all_ok", ok)
+            .raw("iterations", bench::JsonObject::array(json_rows));
+        bench::writeJsonFile(opts.jsonPath, json);
+    }
+
     std::printf("\nObligation matrix: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }

@@ -12,12 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
 #include "checker/state_store.hh"
-#include "invariants/invariant.hh"
-#include "obligation/universe.hh"
-#include "protocol/rules.hh"
 
 using namespace cxl;
 
@@ -93,7 +90,8 @@ BENCHMARK(BM_CanonicaliseTids);
 void
 BM_SuccessorEnumeration(benchmark::State &state)
 {
-    RuleSet rules(ProtocolConfig::correct());
+    CheckSession session;
+    const RuleSet &rules = session.ruleSet(ProtocolConfig::correct());
     Scenario sc = Scenario::freeRunScenario();
     SystemState s = busyState();
     for (auto _ : state) {
@@ -106,7 +104,9 @@ BENCHMARK(BM_SuccessorEnumeration);
 void
 BM_InvariantEvaluation(benchmark::State &state)
 {
-    InvariantSet inv = InvariantSet::full(ProtocolConfig::correct());
+    CheckSession session;
+    const InvariantSet &inv =
+        session.invariantSet(ProtocolConfig::correct());
     Scenario sc = Scenario::freeRunScenario();
     Context ctx{&sc};
     SystemState s = busyState();
@@ -183,18 +183,16 @@ BENCHMARK(BM_StateStoreInsertBatched);
 void
 BM_ExhaustiveSwmrVerification(benchmark::State &state)
 {
-    // End-to-end Theorem 6.2: the full free-run space with all
-    // conjuncts checked on every state.
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario sc = Scenario::freeRunScenario();
-    InvariantSet inv = InvariantSet::full(config);
+    // End-to-end Theorem 6.2 through the session façade: the full
+    // free-run space with all conjuncts checked on every state.
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "free-run";
     std::uint64_t states = 0;
     for (auto _ : state) {
-        Explorer ex(rules, sc, inv);
-        ExploreResult res = ex.run();
-        states = res.numStates;
-        benchmark::DoNotOptimize(res.numStates);
+        CheckResult res = session.run(req);
+        states = res.states;
+        benchmark::DoNotOptimize(res.states);
     }
     state.SetItemsProcessed(state.iterations() * states);
     state.counters["reachable_states"] =
@@ -207,18 +205,17 @@ BM_ParallelSwmrVerification(benchmark::State &state)
 {
     // The same end-to-end run through the depth-synchronized
     // parallel engine; the argument is the worker-thread count.
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario sc = Scenario::freeRunScenario();
-    InvariantSet inv = InvariantSet::full(config);
-    ExploreOptions opt;
-    opt.numThreads = static_cast<std::size_t>(state.range(0));
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "free-run";
+    EngineOptions engine;
+    engine.threads = static_cast<std::size_t>(state.range(0));
+    req.engine = engine;
     std::uint64_t states = 0;
     for (auto _ : state) {
-        Explorer ex(rules, sc, inv);
-        ExploreResult res = ex.run(opt);
-        states = res.numStates;
-        benchmark::DoNotOptimize(res.numStates);
+        CheckResult res = session.run(req);
+        states = res.states;
+        benchmark::DoNotOptimize(res.states);
     }
     state.SetItemsProcessed(state.iterations() * states);
 }
@@ -232,17 +229,12 @@ void
 BM_LitmusExhaustive(benchmark::State &state)
 {
     // The alternating_ops scenario: the largest litmus state space.
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario sc;
-    sc.initial = initialAllInvalid(0);
-    sc.program[0] = {Instr::Load, Instr::Store, Instr::Evict};
-    sc.program[1] = {Instr::Load, Instr::Store, Instr::Evict};
-    InvariantSet inv = InvariantSet::full(config);
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "alternating_ops";
     for (auto _ : state) {
-        Explorer ex(rules, sc, inv);
-        ExploreResult res = ex.run();
-        benchmark::DoNotOptimize(res.numStates);
+        CheckResult res = session.run(req);
+        benchmark::DoNotOptimize(res.states);
     }
 }
 BENCHMARK(BM_LitmusExhaustive)->Unit(benchmark::kMillisecond);

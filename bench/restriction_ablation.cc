@@ -2,17 +2,17 @@
  * @file
  * E6 — the restriction-assessment experiment of paper Section 5.2,
  * generalised: for each CXL.cache restriction, exhaustively explore
- * the free-run model with that restriction relaxed and report which
- * invariant first fails, at what depth, and how much larger the
- * reachable space becomes.  The unrelaxed model is the control row:
- * its exploration completes with no violation at all.
+ * the free-run model with that restriction relaxed (one CheckSession
+ * request per row) and report which invariant first fails, at what
+ * depth, and how much larger the reachable space becomes.  The
+ * unrelaxed model is the control row: its exploration completes with
+ * no violation at all.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
 #include "litmus/trace_table.hh"
 #include "support/table.hh"
 
@@ -57,20 +57,20 @@ main()
         rows.push_back(r);
     }
 
-    Scenario scenario = Scenario::freeRunScenario();
+    CheckSession session;
     TextTable table({"relaxed restriction", "rules", "states explored",
                      "violated conjunct (family)", "depth"});
 
     bool control_clean = false;
     bool all_relaxed_broken = true;
-    std::optional<Violation> sample;
+    std::optional<CheckResult> sample;
 
     for (std::size_t k = 0; k < rows.size(); ++k) {
         const Row &row = rows[k];
-        RuleSet rules(row.config);
-        InvariantSet inv = InvariantSet::full(row.config);
-        Explorer ex(rules, scenario, inv);
-        ExploreResult res = ex.run();
+        CheckRequest req;
+        req.scenario = "free-run";
+        req.config = row.config;
+        CheckResult res = session.run(req);
 
         std::string verdict = "none (exploration complete)";
         std::string depth = "-";
@@ -78,23 +78,24 @@ main()
             verdict = res.violation->conjunctName + " (" +
                       res.violation->conjunctFamily + ")";
             depth = std::to_string(res.violation->depth);
-            if (k == 1)
-                sample = res.violation;
         }
         if (k == 0)
-            control_clean = !res.violation && res.completed;
+            control_clean = res.holds();
         else
             all_relaxed_broken &= res.violation.has_value();
 
-        table.addRow({row.name, std::to_string(rules.rules().size()),
-                      std::to_string(res.numStates), verdict, depth});
+        table.addRow({row.name, std::to_string(res.numRules),
+                      std::to_string(res.states), verdict, depth});
+        if (k == 1 && res.violation)
+            sample = std::move(res);
     }
     std::printf("%s", table.render().c_str());
 
     if (sample) {
         std::printf("\nWitness trace for the snoop_pushes_go "
                     "relaxation (first violation found by BFS):\n\n%s",
-                    renderTraceTable(sample->trace, scenario,
+                    renderTraceTable(sample->violation->trace,
+                                     sample->scenarioSpec,
                                      {StateColumn::DCache1,
                                       StateColumn::HCache,
                                       StateColumn::DCache2,

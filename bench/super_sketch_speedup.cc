@@ -4,16 +4,16 @@
  * discharge is embarrassingly parallel, which is why the paper's tool
  * fans sledgehammer instances out concurrently.  We measure wall time
  * of the full obligation matrix at increasing thread counts and report
- * the speedup curve.
+ * the speedup curve.  The boundary universe is built once — the
+ * CheckSession caches it across the thread sweep's requests.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <thread>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "obligation/matrix.hh"
-#include "obligation/universe.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -24,21 +24,13 @@ main()
     bench::banner("super_sketch analogue: parallel obligation "
                   "discharge (paper Section 7.2)");
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario scenario = Scenario::freeRunScenario();
-    InvariantSet full = InvariantSet::full(config);
+    CheckSession session;
 
     // A larger universe so the measurement is meaningful (the matrix
     // is ~0.5 billion conjunct evaluations at this size).
-    UniverseOptions opt;
-    opt.perturbationsPerSeed = 200;
-    opt.maxStates = 700000;
-    auto universe = buildUniverse(rules, scenario, full, opt, nullptr);
-    std::printf("universe: %zu states, matrix: %zu rules x %zu "
-                "conjuncts = %zu cells\n\n",
-                universe.size(), rules.rules().size(), full.size(),
-                rules.rules().size() * full.size());
+    ObligationRequest req;
+    req.universe.perturbationsPerSeed = 200;
+    req.universe.maxStates = 700000;
 
     unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     std::vector<std::size_t> thread_counts{1, 2, 4};
@@ -51,31 +43,43 @@ main()
                      "obligations/s", "failing cells"});
     double base_time = 0.0;
     bool consistent = true;
+    bool printed_header = false;
     std::uint64_t base_failures = 0;
 
     for (std::size_t threads : thread_counts) {
-        MatrixOptions mopt;
-        mopt.threads = threads;
-        MatrixResult res = checkObligationMatrix(rules, scenario, full,
-                                                 universe, mopt);
+        req.matrix.threads = threads;
+        ObligationResult res = session.obligations(req);
+        if (!printed_header) {
+            std::printf("universe: %zu states, matrix: %zu rules x "
+                        "%zu conjuncts = %zu cells\n\n",
+                        res.universeSize, res.numRules,
+                        res.numConjuncts, res.matrix.totalCells());
+            printed_header = true;
+        }
         if (threads == 1) {
-            base_time = res.seconds;
-            base_failures = res.failedCellCount();
+            base_time = res.matrix.seconds;
+            base_failures = res.matrix.failedCellCount();
         } else {
-            consistent &= res.failedCellCount() == base_failures;
+            consistent &=
+                res.matrix.failedCellCount() == base_failures;
         }
         char time_txt[32], speed_txt[32], rate_txt[32];
-        std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
+        std::snprintf(time_txt, sizeof(time_txt), "%.3f",
+                      res.matrix.seconds);
         std::snprintf(speed_txt, sizeof(speed_txt), "%.2fx",
-                      res.seconds > 0 ? base_time / res.seconds : 0.0);
-        std::snprintf(rate_txt, sizeof(rate_txt), "%.0f",
-                      res.seconds > 0
-                          ? static_cast<double>(res.totalFirings) *
-                                static_cast<double>(full.size()) /
-                                res.seconds
+                      res.matrix.seconds > 0
+                          ? base_time / res.matrix.seconds
                           : 0.0);
+        std::snprintf(
+            rate_txt, sizeof(rate_txt), "%.0f",
+            res.matrix.seconds > 0
+                ? static_cast<double>(res.matrix.totalFirings) *
+                      static_cast<double>(res.numConjuncts) /
+                      res.matrix.seconds
+                : 0.0);
         table.addRow({std::to_string(threads), time_txt, speed_txt,
-                      rate_txt, std::to_string(res.failedCellCount())});
+                      rate_txt,
+                      std::to_string(res.matrix.failedCellCount())});
     }
     std::printf("%s", table.render().c_str());
 

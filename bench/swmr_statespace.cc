@@ -6,18 +6,21 @@
  * every reachable state.  Also reports the paper's proof-scale
  * numbers next to ours (68 rules / 796 conjuncts / 53,332 obligations
  * vs. our rule, conjunct and state counts).
+ *
+ * All runs — the config table, the opposite-symmetry comparison and
+ * the thread-scaling sweep — are requests against one CheckSession;
+ * the per-case RuleSet/Scenario/InvariantSet/Explorer assembly this
+ * file used to repeat three times lives behind the façade now.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <thread>
 
+#include "api/check.hh"
+#include "api/options.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
-#include "support/cli.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -26,53 +29,44 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    const int devices = deviceCountOption(args, kMaxDevices);
-    ExploreOptions opt;
-    opt.numThreads = threadCountOption(args);
+    api::StandardOptions opts =
+        api::standardOptions(args, "BENCH_statespace.json");
+    const int devices = opts.devices;
     // An explicit --max-states opts into prefix semantics: capped
     // runs report the verdict for the explored prefix and still count
     // as a pass.  Without it, hitting the built-in cap is a failure
-    // (the verification did not finish).
-    const bool user_capped = args.has("max-states");
-    if (user_capped) {
-        const std::int64_t n = args.getInt("max-states", 0);
-        if (n < 1) {
-            std::fprintf(stderr,
-                         "--max-states %lld out of range (want >= 1)\n",
-                         static_cast<long long>(n));
-            return 2;
-        }
-        opt.maxStates = static_cast<std::uint64_t>(n);
-        // Cap-truncated runs stop at a thread-dependent point
-        // (ExploreOptions::numThreads), so the sweep's bit-identical
-        // comparison is meaningless under a cap.
-        if (args.has("sweep")) {
-            std::fprintf(stderr, "--sweep is incompatible with "
-                                 "--max-states: capped counts are "
-                                 "thread-dependent\n");
-            return 2;
-        }
+    // (the verification did not finish).  Cap-truncated runs stop at
+    // a thread-dependent point, so the sweep's bit-identical
+    // comparison is meaningless under a cap.
+    if (opts.userCapped && args.has("sweep")) {
+        std::fprintf(stderr, "--sweep is incompatible with "
+                             "--max-states: capped counts are "
+                             "thread-dependent\n");
+        return 2;
     }
-    // Beyond the paper's two devices the raw space grows steeply;
-    // device-permutation symmetry reduction keeps it enumerable and
-    // is switched on by default there (force with --sym, compare
-    // against the unreduced space with --no-sym).
-    opt.symmetryReduction =
-        (devices > 2 || args.has("sym")) && !args.has("no-sym");
-    // Hash-compacted storage (fingerprints instead of state bytes):
-    // the memory-lean mode that makes the 4-device space fit in RAM.
-    opt.compaction = args.has("compact");
-    const std::int64_t expect = args.getInt("expect-states", 0);
-    if (expect > 0)
-        opt.expectedStates = static_cast<std::uint64_t>(expect);
+
+    CheckSession session(opts.engine);
+    auto freeRun = [&](const ProtocolConfig &config) {
+        CheckRequest req;
+        req.scenario = "free-run";
+        req.devices = devices;
+        req.config = config;
+        return req;
+    };
+    // SymmetryMode::Auto turns the reduction on for free-run spaces
+    // beyond the paper's two devices; resolve it here for the banner.
+    const bool symmetry_on =
+        opts.engine.symmetry == SymmetryMode::On ||
+        (opts.engine.symmetry == SymmetryMode::Auto && devices > 2);
 
     bench::banner(
         "Theorem 6.2 (SWMR): exhaustive reachability over the " +
         std::to_string(devices) + "-device, one-location model" +
-        (opt.symmetryReduction ? " (device-permutation symmetry "
-                                 "reduction on)"
-                               : "") +
-        (opt.compaction ? " (hash-compacted store)" : ""));
+        (symmetry_on ? " (device-permutation symmetry reduction on)"
+                     : "") +
+        (opts.engine.store == StoreKind::Compact
+             ? " (hash-compacted store)"
+             : ""));
 
     struct Case {
         const char *name;
@@ -115,50 +109,38 @@ main(int argc, char **argv)
 
     bool all_ok = true;
     for (const Case &c : cases) {
-        RuleSet rules(c.config, devices);
-        Scenario scenario = Scenario::freeRunScenario(devices);
-        InvariantSet invariants = InvariantSet::full(c.config, devices);
-        Explorer ex(rules, scenario, invariants);
-        ExploreResult res = ex.run(opt);
+        CheckResult res = session.run(freeRun(c.config));
 
         // A run truncated by an explicit --max-states without a
         // violation reports SWMR holding on the explored prefix.
-        const bool capped = !res.completed && !res.violation;
-        bool ok = !res.violation && (res.completed || user_capped);
+        const bool capped =
+            res.verdict == CheckResult::Verdict::Incomplete;
+        bool ok = res.holds() || (capped && opts.userCapped);
         all_ok &= ok;
         char time_txt[32], rate_txt[32];
         std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
         std::snprintf(rate_txt, sizeof(rate_txt), "%.0f",
                       res.seconds > 0
-                          ? static_cast<double>(res.numStates) /
+                          ? static_cast<double>(res.states) /
                                 res.seconds
                           : 0.0);
-        table.addRow({c.name, std::to_string(rules.rules().size()),
-                      std::to_string(invariants.size()),
-                      std::to_string(res.numStates),
-                      std::to_string(res.numTransitions),
-                      std::to_string(res.maxDepth), time_txt, rate_txt,
+        table.addRow({c.name, std::to_string(res.numRules),
+                      std::to_string(res.numConjuncts),
+                      std::to_string(res.states),
+                      std::to_string(res.transitions),
+                      std::to_string(res.diameter), time_txt, rate_txt,
                       res.violation ? res.violation->describe()
                       : !capped     ? "HOLDS everywhere"
-                      : user_capped ? "holds (maxStates cap hit)"
-                                    : "INCOMPLETE (built-in cap)"});
+                      : opts.userCapped
+                          ? "holds (maxStates cap hit)"
+                          : "INCOMPLETE (built-in cap)"});
 
-        total_states += res.numStates;
-        total_transitions += res.numTransitions;
+        total_states += res.states;
+        total_transitions += res.transitions;
         total_seconds += res.seconds;
         total_collisions += res.probeCollisions;
         bench::JsonObject row;
-        row.str("name", c.name)
-            .num("states", res.numStates)
-            .num("transitions", res.numTransitions)
-            .num("diameter", static_cast<std::uint64_t>(res.maxDepth))
-            .num("seconds", res.seconds)
-            .num("states_per_sec",
-                 res.seconds > 0
-                     ? static_cast<double>(res.numStates) / res.seconds
-                     : 0.0)
-            .boolean("completed", res.completed)
-            .boolean("violation", res.violation.has_value());
+        row.str("name", c.name).raw("result", res.renderJson());
         json_cases.push_back(row.render());
     }
     std::printf("%s", table.render().c_str());
@@ -167,25 +149,24 @@ main(int argc, char **argv)
     // for the reduction-factor comparison: device-permutation
     // canonicalisation divides the space by up to ndev!.
     {
-        ProtocolConfig config = ProtocolConfig::correct();
-        RuleSet rules(config, devices);
-        Scenario scenario = Scenario::freeRunScenario(devices);
-        InvariantSet invariants = InvariantSet::full(config, devices);
-        Explorer ex(rules, scenario, invariants);
-        ExploreOptions alt_opt = opt;
-        alt_opt.symmetryReduction = !opt.symmetryReduction;
-        ExploreResult res = ex.run(alt_opt);
+        CheckRequest req = freeRun(ProtocolConfig::correct());
+        EngineOptions alt = opts.engine;
+        alt.symmetry =
+            symmetry_on ? SymmetryMode::Off : SymmetryMode::On;
+        req.engine = alt;
+        CheckResult res = session.run(req);
         std::printf("\n%s device-permutation symmetry reduction "
                     "(default config): %llu states (%s)\n",
-                    alt_opt.symmetryReduction ? "with" : "without",
-                    static_cast<unsigned long long>(res.numStates),
+                    res.symmetryReduction ? "with" : "without",
+                    static_cast<unsigned long long>(res.states),
                     res.violation ? "UNEXPECTED violation"
                     : !res.completed
                         ? "maxStates cap hit"
-                    : alt_opt.symmetryReduction
+                    : res.symmetryReduction
                         ? "invariant holds on every orbit"
                         : "invariant holds everywhere");
-        all_ok &= !res.violation && (res.completed || user_capped);
+        all_ok &= !res.violation &&
+                  (res.completed || opts.userCapped);
     }
 
     std::printf(
@@ -234,24 +215,19 @@ main(int argc, char **argv)
         const int repeat = std::max<int>(
             1, static_cast<int>(args.getInt("sweep-repeat", 5)));
 
-        ProtocolConfig config = ProtocolConfig::correct();
-        RuleSet rules(config, devices);
-        Scenario scenario = Scenario::freeRunScenario(devices);
-        InvariantSet invariants = InvariantSet::full(config, devices);
-        Explorer ex(rules, scenario, invariants);
-
         TextTable sweep({"threads", "states", "transitions",
                          "time (s)", "speedup", "identical"});
         double base_time = 0.0;
-        ExploreResult base;
+        CheckResult base;
         for (std::size_t i = 0; i < counts.size(); ++i) {
-            const std::size_t n = counts[i];
-            ExploreOptions topt = opt;
-            topt.numThreads = n;
-            ExploreResult res;
+            CheckRequest req = freeRun(ProtocolConfig::correct());
+            EngineOptions topt = opts.engine;
+            topt.threads = counts[i];
+            req.engine = topt;
+            CheckResult res;
             double best = 0.0;
             for (int r = 0; r < repeat; ++r) {
-                res = ex.run(topt);
+                res = session.run(req);
                 if (r == 0 || res.seconds < best)
                     best = res.seconds;
             }
@@ -260,19 +236,24 @@ main(int argc, char **argv)
                 base = res;
                 base_time = best;
             }
-            bool same = res.numStates == base.numStates &&
-                        res.numTransitions == base.numTransitions &&
-                        res.ruleFireCounts == base.ruleFireCounts &&
-                        res.violation.has_value() ==
-                            base.violation.has_value();
+            auto fires = [](const CheckResult &cr) {
+                std::vector<std::uint64_t> v;
+                for (const RuleFire &rf : cr.ruleFires)
+                    v.push_back(rf.fires);
+                return v;
+            };
+            bool same = res.states == base.states &&
+                        res.transitions == base.transitions &&
+                        fires(res) == fires(base) &&
+                        res.verdict == base.verdict;
             all_ok &= same;
             char time_txt[32], speed_txt[32];
             std::snprintf(time_txt, sizeof(time_txt), "%.4f", best);
             std::snprintf(speed_txt, sizeof(speed_txt), "%.2fx",
                           best > 0 ? base_time / best : 0.0);
-            sweep.addRow({std::to_string(n),
-                          std::to_string(res.numStates),
-                          std::to_string(res.numTransitions), time_txt,
+            sweep.addRow({std::to_string(counts[i]),
+                          std::to_string(res.states),
+                          std::to_string(res.transitions), time_txt,
                           first ? "1.00x" : speed_txt,
                           same ? "yes" : "NO"});
         }
@@ -290,31 +271,22 @@ main(int argc, char **argv)
                 total_states > 0 ? static_cast<double>(peak_rss) /
                                        static_cast<double>(total_states)
                                  : 0.0,
-                opt.compaction ? " [hash-compacted]" : "");
+                opts.engine.store == StoreKind::Compact
+                    ? " [hash-compacted]"
+                    : "");
     if (total_collisions != 0) {
         std::printf("probe-hash collisions detected and kept "
                     "separate: %llu\n",
                     static_cast<unsigned long long>(total_collisions));
     }
 
-    if (args.has("json")) {
-        // Record the resolved worker count (the explorer maps 0 to
-        // one per hardware thread), so cross-machine states/sec
-        // figures in the perf-trajectory JSON stay comparable.
-        std::size_t resolved_threads = opt.numThreads;
-        if (resolved_threads == 0) {
-            resolved_threads = std::thread::hardware_concurrency();
-            if (resolved_threads == 0)
-                resolved_threads = 1;
-        }
+    if (opts.json) {
         bench::JsonObject json;
         json.str("bench", "swmr_statespace")
             .num("devices", static_cast<std::uint64_t>(devices))
-            .num("threads",
-                 static_cast<std::uint64_t>(resolved_threads))
-            .boolean("symmetry_reduction", opt.symmetryReduction)
-            .boolean("compact", opt.compaction)
-            .num("max_states", opt.maxStates)
+            .boolean("symmetry_reduction", symmetry_on)
+            .boolean("compact",
+                     opts.engine.store == StoreKind::Compact)
             .num("total_states", total_states)
             .num("total_transitions", total_transitions)
             .num("total_seconds", total_seconds)
@@ -331,8 +303,7 @@ main(int argc, char **argv)
             .num("probe_hash_collisions", total_collisions)
             .boolean("all_ok", all_ok)
             .raw("cases", bench::JsonObject::array(json_cases));
-        bench::writeJsonFile(
-            args.get("json", "BENCH_statespace.json"), json);
+        bench::writeJsonFile(opts.jsonPath, json);
     }
 
     std::printf("\nSWMR theorem: %s\n",

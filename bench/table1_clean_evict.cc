@@ -3,13 +3,15 @@
  * E1 — regenerates paper Table 1: the clean_evict_test transition
  * sequence (an eviction from a clean cache ends successfully), plus
  * the exhaustive confirmation that *every* interleaving of the same
- * scenario reaches the expected final state coherently.
+ * scenario reaches the expected final state coherently.  Both the
+ * guided walk and the exhaustive run go through one CheckSession,
+ * and the scenario comes from the registry.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "litmus/litmus.hh"
 #include "litmus/trace_table.hh"
 
 using namespace cxl;
@@ -20,20 +22,16 @@ main()
     bench::banner("Table 1: clean_evict_test — clean eviction from "
                   "device 1");
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario sc;
-    sc.name = "clean_evict_test";
-    sc.initial = initialBothShared(0);
-    sc.program[0] = {Instr::Evict, Instr::Evict};
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "clean-evict";
 
-    auto steps = runGuided(
-        rules, sc,
-        {"SharedEvict1", "HostSharedCleanEvictNotLastDrop1",
-         "SIA_GO_WritePullDrop1", "InvalidEvict1"});
+    GuidedRun walk = session.guided(
+        req, {"SharedEvict1", "HostSharedCleanEvictNotLastDrop1",
+              "SIA_GO_WritePullDrop1", "InvalidEvict1"});
 
     std::printf("%s\n",
-                renderTraceTable(steps, sc,
+                renderTraceTable(walk.steps, walk.scenario,
                                  {StateColumn::DProg1,
                                   StateColumn::DCache1,
                                   StateColumn::D2HReq1,
@@ -54,14 +52,14 @@ main()
 
     // Exhaustive confirmation over all interleavings.
     LitmusTest test;
-    test.name = sc.name;
-    test.scenario = sc;
+    test.name = walk.scenario.name;
+    test.scenario = walk.scenario;
     test.finalCheck = [](const SystemState &s) {
         return s.dev[0].state == DState::I &&
                s.dev[1].state == DState::S && s.hstate == HState::S;
     };
     test.finalCheckDescription = "D1=I, D2=S, H=S";
-    LitmusOutcome out = runLitmus(test);
+    LitmusOutcome out = session.litmus(test);
 
     std::printf("\nExhaustive check: %s (%llu states, %llu transitions, "
                 "%zu terminal state(s))\n",

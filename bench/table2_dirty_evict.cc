@@ -2,13 +2,14 @@
  * @file
  * E2 — regenerates paper Table 2: the dirty_evict_test transition
  * sequence (a writeback triggered by GO_WritePull), plus the
- * exhaustive confirmation over all interleavings.
+ * exhaustive confirmation over all interleavings — both through one
+ * CheckSession, with the scenario from the registry.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "litmus/litmus.hh"
 #include "litmus/trace_table.hh"
 
 using namespace cxl;
@@ -19,19 +20,16 @@ main()
     bench::banner("Table 2: dirty_evict_test — writeback via "
                   "GO_WritePull");
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario sc;
-    sc.name = "dirty_evict_test";
-    sc.initial = initialOneModified(0, 1, 0);
-    sc.program[0] = {Instr::Evict};
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "dirty-evict";
 
-    auto steps = runGuided(rules, sc,
-                           {"ModifiedEvict1", "HostModifiedDirtyEvict1",
-                            "MIA_GO_WritePull1", "HostID_Data1"});
+    GuidedRun walk = session.guided(
+        req, {"ModifiedEvict1", "HostModifiedDirtyEvict1",
+              "MIA_GO_WritePull1", "HostID_Data1"});
 
     std::printf("%s\n",
-                renderTraceTable(steps, sc,
+                renderTraceTable(walk.steps, walk.scenario,
                                  {StateColumn::DProg1,
                                   StateColumn::DCache1,
                                   StateColumn::D2HReq1,
@@ -53,14 +51,14 @@ main()
         "    MIA_GO_WritePull1 / HostID_Data1.\n");
 
     LitmusTest test;
-    test.name = sc.name;
-    test.scenario = sc;
+    test.name = walk.scenario.name;
+    test.scenario = walk.scenario;
     test.finalCheck = [](const SystemState &s) {
         return s.dev[0].state == DState::I && s.hstate == HState::I &&
                s.hval == 1;
     };
     test.finalCheckDescription = "D1=I, H=(1, I)";
-    LitmusOutcome out = runLitmus(test);
+    LitmusOutcome out = session.litmus(test);
 
     std::printf("\nExhaustive check: %s (%llu states, %llu transitions, "
                 "%zu terminal state(s))\n",

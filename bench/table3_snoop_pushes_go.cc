@@ -5,14 +5,15 @@
  * (the mutated ISADSnpInv2 rule).  Also shows that BFS finds the same
  * violation at the same depth without guidance, and that the
  * *strengthened* invariant flags the bug one step earlier than plain
- * SWMR.
+ * SWMR.  The registry entry carries the relaxed configuration and the
+ * pure-SWMR family restriction; the full-invariant contrast run
+ * overrides the families.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
-#include "litmus/litmus.hh"
 #include "litmus/trace_table.hh"
 
 using namespace cxl;
@@ -23,23 +24,17 @@ main()
     bench::banner("Table 3: snoop_pushes_go_test — coherence violation "
                   "under the relaxed model");
 
-    ProtocolConfig config;
-    config.relaxSnoopPushesGo = true;
-    RuleSet rules(config);
-    Scenario sc;
-    sc.name = "snoop_pushes_go_test";
-    sc.initial = initialAllInvalid(0);
-    sc.program[0] = {Instr::Store};
-    sc.program[1] = {Instr::Load};
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "snoop-pushes-go";
 
-    auto steps = runGuided(
-        rules, sc,
-        {"InvalidStore1", "InvalidLoad2", "HostInvalidRdShared2",
-         "HostSharedRdOwnSnp1", "ISADSnpInv2", "ISAD_GO_Data2",
-         "HostMA_RspIHitI1", "IMAD_GO_Data1"});
+    GuidedRun walk = session.guided(
+        req, {"InvalidStore1", "InvalidLoad2", "HostInvalidRdShared2",
+              "HostSharedRdOwnSnp1", "ISADSnpInv2", "ISAD_GO_Data2",
+              "HostMA_RspIHitI1", "IMAD_GO_Data1"});
 
     std::printf("%s\n",
-                renderTraceTable(steps, sc,
+                renderTraceTable(walk.steps, walk.scenario,
                                  {StateColumn::DCache1,
                                   StateColumn::D2HReq1,
                                   StateColumn::H2DRsp1,
@@ -54,7 +49,7 @@ main()
                                   StateColumn::Counter})
                     .c_str());
 
-    const SystemState &fin = steps.back().state;
+    const SystemState &fin = walk.steps.back().state;
     std::printf("final state: DCache1=%s, DCache2=%s  ->  SWMR %s\n",
                 toString(fin.dev[0].state).c_str(),
                 toString(fin.dev[1].state).c_str(),
@@ -68,15 +63,15 @@ main()
         "    shares.  Stored values are device-deterministic (1) here\n"
         "    instead of the paper's 42.\n");
 
-    // Unguided confirmation: BFS with plain SWMR.
-    InvariantSet swmr = InvariantSet::swmrOnly();
-    Explorer ex_swmr(rules, sc, swmr);
-    ExploreResult res_swmr = ex_swmr.run();
+    // Unguided confirmation: BFS with plain SWMR (the registry
+    // entry's family restriction)...
+    CheckResult res_swmr = session.run(req);
 
-    // And with the full strengthened invariant.
-    InvariantSet full = InvariantSet::full(config);
-    Explorer ex_full(rules, sc, full);
-    ExploreResult res_full = ex_full.run();
+    // ...and with the full strengthened invariant (explicitly empty
+    // families select the full set).
+    CheckRequest full_req = req;
+    full_req.families = std::vector<std::string>{};
+    CheckResult res_full = session.run(full_req);
 
     std::printf("unguided BFS, plain SWMR        : %s at depth %u\n",
                 res_swmr.violation

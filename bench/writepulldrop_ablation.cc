@@ -7,15 +7,15 @@
  *
  * We quantify the saving two ways: (a) across the whole free-run state
  * graph, counting eviction-completion transitions that carry data, and
- * (b) on a targeted eviction-race litmus scenario, counting the bogus
- * messages on every maximal path class.
+ * (b) on the registered eviction-race scenarios, counting the bogus
+ * messages on every maximal path class.  Every measurement is one
+ * CheckSession request; the tallies come from CheckResult::ruleFires.
  */
 
 #include <cstdio>
 
+#include "api/check.hh"
 #include "bench_common.hh"
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -31,23 +31,23 @@ struct Tally {
 };
 
 Tally
-measure(const ProtocolConfig &config, const Scenario &scenario)
+measure(CheckSession &session, const ProtocolConfig &config,
+        const std::string &scenario)
 {
-    RuleSet rules(config);
-    InvariantSet inv = InvariantSet::full(config);
-    Explorer ex(rules, scenario, inv);
-    ExploreResult res = ex.run();
+    CheckRequest req;
+    req.scenario = scenario;
+    req.config = config;
+    CheckResult res = session.run(req);
 
     Tally tally;
-    tally.states = res.numStates;
-    tally.clean = res.completed && !res.violation;
-    for (const Rule &rule : rules.rules()) {
-        std::uint64_t fires = res.ruleFireCounts[rule.id];
+    tally.states = res.states;
+    tally.clean = res.holds();
+    for (const RuleFire &rule : res.ruleFires) {
         if (rule.name.rfind("IIA_GO_WritePullDrop", 0) == 0) {
-            tally.staleCompletions += fires;
+            tally.staleCompletions += rule.fires;
         } else if (rule.name.rfind("IIA_GO_WritePull", 0) == 0) {
-            tally.staleCompletions += fires;
-            tally.bogusDataMsgs += fires;
+            tally.staleCompletions += rule.fires;
+            tally.bogusDataMsgs += rule.fires;
         }
     }
     return tally;
@@ -65,71 +65,40 @@ main()
     ProtocolConfig standard;
     standard.staleEvictDrop = false;
 
+    CheckSession session;
     TextTable table({"scenario", "protocol", "states",
                      "stale-evict completions", "bogus D2H data msgs",
                      "invariant"});
 
     bool ok = true;
+    auto add_rows = [&](const char *label, const std::string &scenario,
+                        bool require_std_bogus) {
+        Tally fix_t = measure(session, fix, scenario);
+        Tally std_t = measure(session, standard, scenario);
+        table.addRow({label, "S4.4 drop",
+                      std::to_string(fix_t.states),
+                      std::to_string(fix_t.staleCompletions),
+                      std::to_string(fix_t.bogusDataMsgs),
+                      fix_t.clean ? "holds" : "VIOLATED"});
+        table.addRow({label, "standard",
+                      std::to_string(std_t.states),
+                      std::to_string(std_t.staleCompletions),
+                      std::to_string(std_t.bogusDataMsgs),
+                      std_t.clean ? "holds" : "VIOLATED"});
+        ok &= fix_t.clean && std_t.clean;
+        ok &= fix_t.bogusDataMsgs == 0;
+        if (require_std_bogus)
+            ok &= std_t.bogusDataMsgs > 0;
+    };
 
     // (a) whole free-run graph.
-    Scenario free = Scenario::freeRunScenario();
-    Tally fix_free = measure(fix, free);
-    Tally std_free = measure(standard, free);
-    table.addRow({"free-run (all behaviours)", "S4.4 drop",
-                  std::to_string(fix_free.states),
-                  std::to_string(fix_free.staleCompletions),
-                  std::to_string(fix_free.bogusDataMsgs),
-                  fix_free.clean ? "holds" : "VIOLATED"});
-    table.addRow({"free-run (all behaviours)", "standard",
-                  std::to_string(std_free.states),
-                  std::to_string(std_free.staleCompletions),
-                  std::to_string(std_free.bogusDataMsgs),
-                  std_free.clean ? "holds" : "VIOLATED"});
-    ok &= fix_free.clean && std_free.clean;
-    ok &= fix_free.bogusDataMsgs == 0 && std_free.bogusDataMsgs > 0;
-
+    add_rows("free-run (all behaviours)", "free-run", true);
     // (b) targeted eviction race: a clean sharer evicts while the
     // other device upgrades — the precise S3.2.5.4 scenario.
-    Scenario race;
-    race.name = "eviction_race";
-    race.initial = initialBothShared(0);
-    race.program[0] = {Instr::Evict};
-    race.program[1] = {Instr::Store};
-    Tally fix_race = measure(fix, race);
-    Tally std_race = measure(standard, race);
-    table.addRow({"evict vs store race", "S4.4 drop",
-                  std::to_string(fix_race.states),
-                  std::to_string(fix_race.staleCompletions),
-                  std::to_string(fix_race.bogusDataMsgs),
-                  fix_race.clean ? "holds" : "VIOLATED"});
-    table.addRow({"evict vs store race", "standard",
-                  std::to_string(std_race.states),
-                  std::to_string(std_race.staleCompletions),
-                  std::to_string(std_race.bogusDataMsgs),
-                  std_race.clean ? "holds" : "VIOLATED"});
-    ok &= fix_race.clean && std_race.clean;
-    ok &= fix_race.bogusDataMsgs == 0 && std_race.bogusDataMsgs > 0;
-
+    add_rows("evict vs store race", "eviction-race", true);
     // Dirty variant of the race.
-    Scenario dirty;
-    dirty.name = "dirty_eviction_race";
-    dirty.initial = initialOneModified(0, 1, 0);
-    dirty.program[0] = {Instr::Evict};
-    dirty.program[1] = {Instr::Store};
-    Tally fix_dirty = measure(fix, dirty);
-    Tally std_dirty = measure(standard, dirty);
-    table.addRow({"dirty evict vs store race", "S4.4 drop",
-                  std::to_string(fix_dirty.states),
-                  std::to_string(fix_dirty.staleCompletions),
-                  std::to_string(fix_dirty.bogusDataMsgs),
-                  fix_dirty.clean ? "holds" : "VIOLATED"});
-    table.addRow({"dirty evict vs store race", "standard",
-                  std::to_string(std_dirty.states),
-                  std::to_string(std_dirty.staleCompletions),
-                  std::to_string(std_dirty.bogusDataMsgs),
-                  std_dirty.clean ? "holds" : "VIOLATED"});
-    ok &= fix_dirty.clean && std_dirty.clean;
-    ok &= fix_dirty.bogusDataMsgs == 0;
+    add_rows("dirty evict vs store race", "dirty-eviction-race",
+             false);
 
     std::printf("%s", table.render().c_str());
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The unified checker CLI: run any registered scenario through the
+ * CheckSession façade — the command-line face of the api/ layer and
+ * the binary behind CI's scenario smoke matrix.
+ *
+ * Usage:
+ *   cxl_check --list                 enumerate registered scenarios
+ *   cxl_check --scenario NAME        run one scenario (or positional)
+ *   cxl_check --all [--verdicts]     run every scenario; --verdicts
+ *                                    prints only the deterministic
+ *                                    `name: verdict` lines the CI
+ *                                    goldens diff against
+ *
+ * Standard flags: --devices N, --threads N, --sym/--no-sym,
+ * --compact, --max-states N, --expect-states N, --json [PATH].
+ *
+ * Exit status: 0 when every run matches its scenario's expectation
+ * (holds, or reaches the expected violation family), 1 on a
+ * mismatch, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "api/check.hh"
+#include "api/options.hh"
+#include "support/json.hh"
+
+using namespace cxl;
+
+namespace
+{
+
+/** True when @p res is what the registry entry promises. */
+bool
+asExpected(const scenarios::Entry &entry, const CheckResult &res)
+{
+    if (!entry.expectViolation)
+        return res.holds();
+    if (res.verdict != CheckResult::Verdict::Violated)
+        return false;
+    return entry.expectedViolationFamily.empty() ||
+           (res.violation &&
+            res.violation->conjunctFamily ==
+                entry.expectedViolationFamily);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+
+    if (args.has("list")) {
+        for (const scenarios::Entry &e : scenarios::all()) {
+            std::printf("%-24s %s%s\n", e.name.c_str(),
+                        e.expectViolation ? "[expects violation] " : "",
+                        e.description.c_str());
+        }
+        return 0;
+    }
+
+    api::StandardOptions opts =
+        api::standardOptions(args, "BENCH_check.json");
+    CheckSession session(opts.engine);
+
+    if (args.has("all")) {
+        const bool verdicts_only = args.has("verdicts");
+        bool all_ok = true;
+        std::vector<std::string> rows;
+        for (const scenarios::Entry &e : scenarios::all()) {
+            CheckRequest req;
+            req.scenario = e.name;
+            req.devices = e.deviceScalable ? opts.devices
+                                           : e.fixedDevices;
+            CheckResult res = session.run(req);
+            const bool ok = asExpected(e, res);
+            all_ok &= ok;
+            std::printf("%s: %s%s\n", e.name.c_str(),
+                        res.verdictText().c_str(),
+                        ok ? "" : "  ** UNEXPECTED **");
+            if (!verdicts_only && !ok)
+                std::printf("%s\n", res.renderText().c_str());
+            rows.push_back(res.renderJson());
+        }
+        if (opts.json) {
+            JsonObject json;
+            json.str("bench", "cxl_check")
+                .num("devices",
+                     static_cast<std::uint64_t>(opts.devices))
+                .boolean("all_ok", all_ok)
+                .raw("results", JsonObject::array(rows));
+            writeJsonFile(opts.jsonPath, json);
+        }
+        return all_ok ? 0 : 1;
+    }
+
+    std::string name = args.get("scenario", "");
+    if (name.empty() && !args.positional().empty())
+        name = args.positional().front();
+    if (name.empty()) {
+        std::fprintf(stderr,
+                     "usage: cxl_check --list | --scenario NAME | "
+                     "--all [--verdicts]\n");
+        return 2;
+    }
+    const scenarios::Entry *entry = scenarios::byName(name);
+    if (!entry) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+    }
+
+    CheckRequest req;
+    req.scenario = entry->name;
+    req.devices =
+        entry->deviceScalable ? opts.devices : entry->fixedDevices;
+    CheckResult res = session.run(req);
+    std::printf("%s", res.renderText().c_str());
+    if (opts.json) {
+        JsonObject json;
+        json.str("bench", "cxl_check").raw("result", res.renderJson());
+        writeJsonFile(opts.jsonPath, json);
+    }
+
+    const bool ok =
+        asExpected(*entry, res) ||
+        (opts.userCapped &&
+         res.verdict == CheckResult::Verdict::Incomplete);
+    if (entry->expectViolation) {
+        std::printf("expected violation in family '%s': %s\n",
+                    entry->expectedViolationFamily.c_str(),
+                    ok ? "reached" : "NOT REACHED");
+    }
+    return ok ? 0 : 1;
+}

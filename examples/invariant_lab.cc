@@ -4,21 +4,21 @@
  * Section 7.1, interactive edition.
  *
  * Starts from bare SWMR, runs the obligation matrix over a boundary
- * universe, groups the failing cells by conjunct, and shows a concrete
- * witness transition for the first failure — the exact feedback the
- * paper's authors worked from for a few dozen iterations until their
- * invariant converged at 796 conjuncts.
+ * universe through the CheckSession façade, groups the failing cells
+ * by conjunct, and shows a concrete witness transition for the first
+ * failure — the exact feedback the paper's authors worked from for a
+ * few dozen iterations until their invariant converged at 796
+ * conjuncts.
  *
  * Usage:
- *   invariant_lab [--iteration 0..3] [--witnesses N]
+ *   invariant_lab [--iteration 0..3] [--witnesses N] [--devices N]
  */
 
 #include <cstdio>
 #include <map>
 
-#include "obligation/matrix.hh"
-#include "obligation/universe.hh"
-#include "support/cli.hh"
+#include "api/check.hh"
+#include "api/options.hh"
 #include "support/table.hh"
 
 using namespace cxl;
@@ -29,61 +29,58 @@ main(int argc, char **argv)
     CliArgs args(argc, argv);
     int iteration = static_cast<int>(args.getInt("iteration", 0));
     int witnesses = static_cast<int>(args.getInt("witnesses", 1));
+    api::StandardOptions opts = api::standardOptions(args);
 
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario scenario = Scenario::freeRunScenario();
-    InvariantSet full = InvariantSet::full(config);
-
-    InvariantSet inv = InvariantSet::swmrOnly();
+    ObligationRequest req;
+    req.devices = opts.devices;
+    req.matrix.threads = opts.engine.threads;
     const char *label = "bare SWMR (Definition 6.1)";
     switch (iteration) {
       case 0:
+        req.families = {"swmr"};
         break;
       case 1:
-        inv = full.filtered({"swmr", "transient_swmr", "snoop_honesty",
-                             "channel_singleton", "data_conflict"});
+        req.families = {"swmr", "transient_swmr", "snoop_honesty",
+                        "channel_singleton", "data_conflict"};
         label = "SWMR + the paper's four sample conjunct families";
         break;
       case 2:
-        inv = full.filtered(
-            {"swmr", "transient_swmr", "snoop_honesty",
-             "channel_singleton", "data_conflict", "directory",
-             "host_transient", "message_shape", "request_state",
-             "progress", "buffer", "tid_discipline", "data_value"});
+        req.families = {"swmr", "transient_swmr", "snoop_honesty",
+                        "channel_singleton", "data_conflict",
+                        "directory", "host_transient", "message_shape",
+                        "request_state", "progress", "buffer",
+                        "tid_discipline", "data_value"};
         label = "iteration 2: + directory / shape / progress families";
         break;
       default:
-        inv = full;
         label = "iteration 3: the full strengthened invariant";
         break;
     }
 
-    std::printf("invariant: %s (%zu conjuncts)\n", label, inv.size());
+    CheckSession session(opts.engine);
+    ObligationResult res = session.obligations(req);
 
-    UniverseOptions opt;
-    UniverseStats stats;
-    auto universe = buildUniverse(rules, scenario, inv, opt, &stats);
+    std::printf("invariant: %s (%zu conjuncts)\n", label,
+                res.numConjuncts);
     std::printf("universe : %zu states (%zu reachable seeds + %zu "
                 "accepted perturbations)\n",
-                universe.size(), stats.reachableSeeds,
-                stats.perturbedAccepted);
-
-    MatrixResult res =
-        checkObligationMatrix(rules, scenario, inv, universe, {});
+                res.universeSize, res.universeStats.reachableSeeds,
+                res.universeStats.perturbedAccepted);
     std::printf("matrix   : %zu rules x %zu conjuncts = %zu cells, "
                 "%llu failing\n\n",
-                res.numRules, res.numConjuncts, res.totalCells(),
-                static_cast<unsigned long long>(res.failedCellCount()));
+                res.numRules, res.numConjuncts,
+                res.matrix.totalCells(),
+                static_cast<unsigned long long>(
+                    res.matrix.failedCellCount()));
 
-    if (res.failures.empty()) {
+    if (res.matrix.failures.empty()) {
         std::printf("every obligation discharged over this universe — "
                     "the invariant survived this round.\n");
         return 0;
     }
 
     std::map<std::string, int> by_conjunct;
-    for (const FailedCell &cell : res.failures)
+    for (const FailedCell &cell : res.matrix.failures)
         ++by_conjunct[cell.conjunctName];
 
     TextTable table({"failing conjunct", "# rules breaking it"});
@@ -96,7 +93,7 @@ main(int argc, char **argv)
                 "invariant (paper Section 7.1).\n\n");
 
     int shown = 0;
-    for (const FailedCell &cell : res.failures) {
+    for (const FailedCell &cell : res.matrix.failures) {
         if (shown++ >= witnesses)
             break;
         std::printf("witness %d: rule %s breaks %s\n  pre  (satisfies "

@@ -3,9 +3,9 @@
  * Example: exploring litmus scenarios from the command line.
  *
  * Define a scenario with per-device programs, exhaustively explore
- * every interleaving, and print the terminal states plus a paper-style
- * transition table for one representative path — the workflow of
- * paper Section 5.1 ("scenario verification").
+ * every interleaving through a CheckSession, and print the terminal
+ * states plus a paper-style transition table for one representative
+ * path — the workflow of paper Section 5.1 ("scenario verification").
  *
  * Usage:
  *   litmus_explorer --prog1 LSE --prog2 L [--init shared|invalid|dirty]
@@ -19,7 +19,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "litmus/litmus.hh"
+#include "api/check.hh"
 #include "litmus/trace_table.hh"
 #include "support/cli.hh"
 
@@ -46,7 +46,7 @@ parseProgram(const std::string &txt)
 }
 
 int
-runNamed(const std::string &name)
+runNamed(CheckSession &session, const std::string &name)
 {
     for (const auto &suite :
          {builtinLitmusSuite(), restrictionRelaxationSuite()}) {
@@ -55,7 +55,7 @@ runNamed(const std::string &name)
                 continue;
             std::printf("%s: %s\n", test.name.c_str(),
                         test.description.c_str());
-            LitmusOutcome out = runLitmus(test);
+            LitmusOutcome out = session.litmus(test);
             std::printf("result: %s (%llu states)\n",
                         out.passed ? "PASS" : "FAIL",
                         static_cast<unsigned long long>(
@@ -75,6 +75,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    CheckSession session;
 
     if (args.has("list")) {
         for (const auto &suite :
@@ -91,7 +92,7 @@ main(int argc, char **argv)
                                  "named tests fix their own device "
                                  "count\n");
         }
-        return runNamed(args.get("run", ""));
+        return runNamed(session, args.get("run", ""));
     }
 
     const int devices = deviceCountOption(args, kMaxDevices);
@@ -124,7 +125,7 @@ main(int argc, char **argv)
     LitmusTest test;
     test.name = sc.name;
     test.scenario = sc;
-    LitmusOutcome out = runLitmus(test);
+    LitmusOutcome out = session.litmus(test);
 
     std::printf("explored %llu states / %llu transitions; %zu distinct "
                 "terminal state(s); invariants %s\n\n",
@@ -142,9 +143,7 @@ main(int argc, char **argv)
         std::printf("\nviolation: %s\n%s\n",
                     out.explore.violation->describe().c_str(),
                     renderTraceTable(out.explore.violation->trace, sc,
-                                     {StateColumn::DCache1,
-                                      StateColumn::HCache,
-                                      StateColumn::DCache2})
+                                     defaultTraceColumns(devices))
                         .c_str());
     }
     return out.passed ? 0 : 1;

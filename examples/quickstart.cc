@@ -1,73 +1,33 @@
 /**
  * @file
- * Quickstart: build the CXL.cache model, exhaustively enumerate its
- * reachable states in free-run mode, and verify the SWMR property plus
- * the full strengthened invariant on every state — the executable
- * counterpart of the paper's Theorem 6.2.
+ * Quickstart: verify the SWMR property plus the full strengthened
+ * invariant on every reachable state of the CXL.cache model — the
+ * executable counterpart of the paper's Theorem 6.2, in one
+ * CheckSession request.
  */
 
 #include <cstdio>
 
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
-#include "litmus/trace_table.hh"
-#include "protocol/rules.hh"
-#include "support/cli.hh"
-
-using namespace cxl;
+#include "api/check.hh"
+#include "api/options.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace cxl;
     CliArgs args(argc, argv);
-    ProtocolConfig config = ProtocolConfig::correct();
-    RuleSet rules(config);
-    Scenario scenario = Scenario::freeRunScenario();
-    InvariantSet invariants = InvariantSet::full(config);
 
-    std::printf("CXL.cache model: %zu rules, %zu invariant conjuncts\n",
-                rules.rules().size(), invariants.size());
+    api::StandardOptions opts = api::standardOptions(args);
 
-    Explorer explorer(rules, scenario, invariants);
-    ExploreOptions options;
-    options.numThreads = threadCountOption(args); // --threads N
-    ExploreResult result = explorer.run(options);
+    // One session can serve many requests (configs, device counts,
+    // thread sweeps) off shared model caches; this demo needs one.
+    CheckSession session(opts.engine);
 
-    std::printf("reachable states : %llu\n",
-                static_cast<unsigned long long>(result.numStates));
-    std::printf("transitions      : %llu\n",
-                static_cast<unsigned long long>(result.numTransitions));
-    std::printf("diameter         : %u\n", result.maxDepth);
-    std::printf("exploration time : %.3f s\n", result.seconds);
+    CheckRequest request;
+    request.scenario = "free-run"; // scenarios::byName lists the rest
+    request.devices = opts.devices;
 
-    std::size_t fired = 0;
-    for (std::size_t r = 0; r < rules.rules().size(); ++r)
-        fired += result.ruleFireCounts[r] > 0 ? 1 : 0;
-    std::printf("rules exercised  : %zu / %zu\n", fired,
-                rules.rules().size());
-
-    if (result.violation) {
-        std::printf("VIOLATION: %s\n",
-                    result.violation->describe().c_str());
-        std::printf("%s\n",
-                    renderTraceTable(result.violation->trace, scenario,
-                                     {StateColumn::DCache1,
-                                      StateColumn::HCache,
-                                      StateColumn::DCache2,
-                                      StateColumn::H2DReq1,
-                                      StateColumn::H2DRsp1,
-                                      StateColumn::H2DReq2,
-                                      StateColumn::H2DRsp2,
-                                      StateColumn::D2HRsp1,
-                                      StateColumn::D2HRsp2})
-                        .c_str());
-        std::printf("bad state:\n%s\n",
-                    result.violation->trace.back().state.dump().c_str());
-        return 1;
-    }
-
-    std::printf("SWMR and all %zu conjuncts hold on every reachable "
-                "state.\n",
-                invariants.size());
-    return 0;
+    CheckResult result = session.run(request);
+    std::printf("%s", result.renderText().c_str());
+    return result.holds() ? 0 : 1;
 }

@@ -3,9 +3,10 @@
  * Example: hunting coherence violations in relaxed protocols.
  *
  * Enables one of the Section 5.2 rule relaxations, exhaustively
- * explores the free-run model, and prints the shortest (BFS) witness
- * trace as a paper-style transition table — the workflow a protocol
- * designer would use to understand *why* a restriction exists.
+ * explores the free-run model through a CheckSession, and prints the
+ * shortest (BFS) witness trace as a paper-style transition table —
+ * the workflow a protocol designer would use to understand *why* a
+ * restriction exists.
  *
  * Usage:
  *   violation_hunt [--mutation snoop_pushes_go|smad_guard|go_tailgate|
@@ -20,10 +21,9 @@
 #include <cstdio>
 #include <sstream>
 
-#include "checker/explorer.hh"
-#include "invariants/invariant.hh"
+#include "api/check.hh"
+#include "api/options.hh"
 #include "litmus/trace_table.hh"
-#include "support/cli.hh"
 
 using namespace cxl;
 
@@ -48,11 +48,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const int devices = deviceCountOption(args, kMaxDevices);
+    api::StandardOptions opts = api::standardOptions(args);
 
-    RuleSet rules(config, devices);
-    Scenario scenario = Scenario::freeRunScenario(devices);
-    InvariantSet invariants = InvariantSet::full(config, devices);
+    CheckRequest req;
+    req.scenario = "free-run";
+    req.devices = opts.devices;
+    req.config = config;
 
     // Optionally narrow the hunt to specific conjunct families
     // (e.g. --families swmr reproduces the pure Table 3 violation).
@@ -63,45 +64,34 @@ main(int argc, char **argv)
         std::string item;
         while (std::getline(ss, item, ','))
             families.push_back(item);
-        invariants = invariants.filtered(families);
+        req.families = std::move(families);
     }
+
+    CheckSession session(opts.engine);
+    CheckResult res = session.run(req);
 
     std::printf("hunting with mutation '%s' over %zu rules, checking "
                 "%zu conjuncts...\n",
-                mutation.c_str(), rules.rules().size(),
-                invariants.size());
-
-    Explorer explorer(rules, scenario, invariants);
-    ExploreOptions opt;
-    opt.numThreads = threadCountOption(args);
-    opt.compaction = args.has("compact");
-    ExploreResult res = explorer.run(opt);
+                mutation.c_str(), res.numRules, res.numConjuncts);
 
     if (!res.violation) {
         std::printf("no violation found in %llu reachable states "
                     "(exploration %s)\n",
-                    static_cast<unsigned long long>(res.numStates),
+                    static_cast<unsigned long long>(res.states),
                     res.completed ? "complete" : "truncated");
         return 0;
     }
 
     std::printf("VIOLATION after %llu states: %s\n",
-                static_cast<unsigned long long>(res.numStates),
+                static_cast<unsigned long long>(res.states),
                 res.violation->describe().c_str());
     if (!res.violation->traceNote.empty())
         std::printf("(%s)\n", res.violation->traceNote.c_str());
     if (res.violation->trace.size() > 1) {
         std::printf("\nwitness trace (shortest, by BFS):\n%s\n",
-                    renderTraceTable(res.violation->trace, scenario,
-                                     {StateColumn::DCache1,
-                                      StateColumn::HCache,
-                                      StateColumn::DCache2,
-                                      StateColumn::H2DReq1,
-                                      StateColumn::H2DReq2,
-                                      StateColumn::H2DRsp1,
-                                      StateColumn::H2DRsp2,
-                                      StateColumn::D2HRsp1,
-                                      StateColumn::D2HRsp2})
+                    renderTraceTable(res.violation->trace,
+                                     res.scenarioSpec,
+                                     defaultTraceColumns(res.devices))
                         .c_str());
     }
     if (!res.violation->trace.empty()) {

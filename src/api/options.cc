@@ -1,0 +1,57 @@
+#include "api/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cxl::api
+{
+
+StandardOptions
+standardOptions(const CliArgs &args, const char *defaultJsonPath)
+{
+    StandardOptions opt;
+    opt.devices = deviceCountOption(args, kMaxDevices);
+    opt.engine.threads = threadCountOption(args);
+
+    if (args.has("no-sym"))
+        opt.engine.symmetry = SymmetryMode::Off;
+    else if (args.has("sym"))
+        opt.engine.symmetry = SymmetryMode::On;
+
+    if (args.has("compact"))
+        opt.engine.store = StoreKind::Compact;
+
+    if (args.has("max-states")) {
+        const std::int64_t n = args.getInt("max-states", 0);
+        if (n < 1) {
+            std::fprintf(stderr,
+                         "--max-states %lld out of range (want >= 1)\n",
+                         static_cast<long long>(n));
+            std::exit(2);
+        }
+        opt.engine.maxStates = static_cast<std::uint64_t>(n);
+        opt.userCapped = true;
+    }
+
+    const std::int64_t expect = args.getInt("expect-states", 0);
+    if (expect > 0)
+        opt.engine.expectedStates =
+            static_cast<std::uint64_t>(expect);
+
+    if (args.has("json")) {
+        opt.json = true;
+        opt.jsonPath = args.get("json", "1");
+        // A bare `--json` parses as the value "1"; fall back to the
+        // harness's BENCH_*.json default.
+        if (opt.jsonPath == "1")
+            opt.jsonPath = defaultJsonPath ? defaultJsonPath : "";
+        if (opt.jsonPath.empty()) {
+            std::fprintf(stderr,
+                         "--json needs a path for this harness\n");
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+} // namespace cxl::api

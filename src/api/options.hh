@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared command-line surface of the bench/example front-ends: one
+ * helper resolves the flags every binary used to re-plumb by hand —
+ * `--devices`, `--threads`, `--sym`/`--no-sym`, `--compact`,
+ * `--max-states`, `--expect-states`, `--json` — into a device count
+ * plus the EngineOptions a CheckSession is constructed with.
+ */
+
+#ifndef CXL_API_OPTIONS_HH
+#define CXL_API_OPTIONS_HH
+
+#include <string>
+
+#include "api/check.hh"
+#include "support/cli.hh"
+
+namespace cxl::api
+{
+
+/** The resolved standard flag set. */
+struct StandardOptions {
+    int devices = kDefaultNumDevices;
+    EngineOptions engine;
+
+    /**
+     * True when the user passed an explicit `--max-states`: capped
+     * runs then report the verdict for the explored prefix rather
+     * than failing for not finishing (swmr_statespace semantics).
+     */
+    bool userCapped = false;
+
+    /** `--json [PATH]` given; path defaults per harness. */
+    bool json = false;
+    std::string jsonPath;
+};
+
+/**
+ * Parse the standard flags from @p args.  Prints a diagnostic and
+ * exits with status 2 on out-of-range values — the front-ends treat
+ * flag errors as usage errors, not verification results.
+ *
+ * @param defaultJsonPath the BENCH_*.json path used when `--json`
+ *        appears without a value (nullptr: harness has no JSON drop).
+ */
+StandardOptions standardOptions(const CliArgs &args,
+                                const char *defaultJsonPath = nullptr);
+
+} // namespace cxl::api
+
+#endif // CXL_API_OPTIONS_HH

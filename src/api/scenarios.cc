@@ -1,0 +1,118 @@
+#include "api/scenarios.hh"
+
+#include <algorithm>
+
+#include "litmus/litmus.hh"
+
+namespace cxl::scenarios
+{
+namespace
+{
+
+std::string
+normalised(const std::string &name)
+{
+    std::string out = name;
+    std::replace(out.begin(), out.end(), '-', '_');
+    return out;
+}
+
+Entry
+fromLitmus(const LitmusTest &test)
+{
+    Entry e;
+    e.name = test.name;
+    e.description = test.description;
+    e.config = test.config;
+    e.families = test.restrictToFamilies;
+    e.expectViolation = test.expectViolation;
+    e.expectedViolationFamily = test.expectedViolationFamily;
+    e.deviceScalable = false;
+    e.fixedDevices = test.scenario.numDevices();
+    e.build = [scenario = test.scenario](int) { return scenario; };
+    return e;
+}
+
+std::vector<Entry>
+buildRegistry()
+{
+    std::vector<Entry> entries;
+
+    {
+        Entry e;
+        e.name = "free-run";
+        e.description =
+            "Every device may issue any instruction at any time; the "
+            "reachable closure covers all protocol behaviours "
+            "(Theorem 6.2's space).";
+        e.deviceScalable = true;
+        e.build = [](int ndev) {
+            return Scenario::freeRunScenario(ndev);
+        };
+        entries.push_back(std::move(e));
+    }
+
+    for (const LitmusTest &test : builtinLitmusSuite())
+        entries.push_back(fromLitmus(test));
+    for (const LitmusTest &test : restrictionRelaxationSuite())
+        entries.push_back(fromLitmus(test));
+
+    {
+        // The Section 4.4 / S3.2.5.4 eviction races measured by the
+        // WritePullDrop ablation.
+        Entry e;
+        e.name = "eviction_race";
+        e.description =
+            "A clean sharer evicts while the other device upgrades "
+            "(the S3.2.5.4 stale-eviction race).";
+        e.build = [](int) {
+            Scenario sc;
+            sc.name = "eviction_race";
+            sc.initial = initialBothShared(0);
+            sc.program[0] = {Instr::Evict};
+            sc.program[1] = {Instr::Store};
+            return sc;
+        };
+        entries.push_back(std::move(e));
+    }
+    {
+        Entry e;
+        e.name = "dirty_eviction_race";
+        e.description =
+            "The dirty owner evicts while the other device stores.";
+        e.build = [](int) {
+            Scenario sc;
+            sc.name = "dirty_eviction_race";
+            sc.initial = initialOneModified(0, 1, 0);
+            sc.program[0] = {Instr::Evict};
+            sc.program[1] = {Instr::Store};
+            return sc;
+        };
+        entries.push_back(std::move(e));
+    }
+
+    return entries;
+}
+
+} // namespace
+
+const std::vector<Entry> &
+all()
+{
+    static const std::vector<Entry> registry = buildRegistry();
+    return registry;
+}
+
+const Entry *
+byName(const std::string &name)
+{
+    const std::string want = normalised(name);
+    for (const Entry &e : all()) {
+        const std::string have = normalised(e.name);
+        if (have == want || have == want + "_test")
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace cxl::scenarios

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The scenario registry: every named scenario the front-ends can
+ * request from a CheckSession — the free-run space of the SWMR
+ * theorem, the Section 5.1 litmus programs, the Section 5.2
+ * restriction-relaxation scenarios, and the Section 4.4 eviction
+ * races — each carrying the protocol configuration, invariant-family
+ * restriction and expectation it is meant to run under.
+ *
+ * The registry is what lets a front-end say
+ * `scenarios::byName("free-run")` instead of hand-assembling a
+ * Scenario + ProtocolConfig + InvariantSet; the unified CLI
+ * (`cxl_check --list`) and the CI smoke matrix enumerate it via
+ * all().
+ */
+
+#ifndef CXL_API_SCENARIOS_HH
+#define CXL_API_SCENARIOS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocol/config.hh"
+#include "protocol/scenario.hh"
+
+namespace cxl::scenarios
+{
+
+/** One registered scenario. */
+struct Entry {
+    std::string name;        ///< canonical lookup key
+    std::string description;
+
+    /** Configuration the scenario is meant to run under. */
+    ProtocolConfig config;
+
+    /**
+     * Invariant families to check (empty = the full strengthened
+     * invariant).  Relaxation scenarios restrict to the family the
+     * paper's walk targets, e.g. pure SWMR for Table 3.
+     */
+    std::vector<std::string> families;
+
+    /** The scenario is expected to reach an invariant violation. */
+    bool expectViolation = false;
+
+    /** Family the expected violation must belong to (may be empty). */
+    std::string expectedViolationFamily;
+
+    /**
+     * True when the scenario builds for any active device count in
+     * [1, kMaxDevices] (free-run); false pins it to the device count
+     * its programs were written for (the litmus scenarios).
+     */
+    bool deviceScalable = false;
+
+    /** Device count non-scalable entries are pinned to. */
+    int fixedDevices = kDefaultNumDevices;
+
+    /** Build the scenario for @p ndev active devices. */
+    std::function<Scenario(int ndev)> build;
+};
+
+/** Every registered scenario, in a stable listing order. */
+const std::vector<Entry> &all();
+
+/**
+ * Look up a scenario by name.  Lookup is forgiving about the two
+ * spelling families in circulation: '-' and '_' are interchangeable
+ * and a missing "_test" suffix is supplied ("clean-evict" finds
+ * "clean_evict_test").
+ *
+ * @return the entry, or nullptr when nothing matches.
+ */
+const Entry *byName(const std::string &name);
+
+} // namespace cxl::scenarios
+
+#endif // CXL_API_SCENARIOS_HH

@@ -100,6 +100,25 @@ class InvariantSet
  */
 bool swmrHolds(const SystemState &s);
 
+/**
+ * Select the conjuncts to check: @p full itself when @p families is
+ * empty, otherwise the filtered subset materialised into @p storage.
+ * Centralises the reference-or-local lifetime subtlety for the
+ * callers (CheckSession, runLitmus) that take an optional family
+ * restriction; the returned reference is valid as long as both
+ * arguments are.
+ */
+inline const InvariantSet &
+selectFamilies(const InvariantSet &full,
+               const std::vector<std::string> &families,
+               InvariantSet &storage)
+{
+    if (families.empty())
+        return full;
+    storage = full.filtered(families);
+    return storage;
+}
+
 } // namespace cxl
 
 #endif // CXL_INVARIANTS_INVARIANT_HH

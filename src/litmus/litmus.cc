@@ -12,13 +12,21 @@ namespace cxl
 LitmusOutcome
 runLitmus(const LitmusTest &test)
 {
-    LitmusOutcome outcome;
-
     RuleSet rules(test.config, test.scenario.numDevices());
     InvariantSet invariants =
         InvariantSet::full(test.config, test.scenario.numDevices());
-    if (!test.restrictToFamilies.empty())
-        invariants = invariants.filtered(test.restrictToFamilies);
+    return runLitmus(test, rules, invariants);
+}
+
+LitmusOutcome
+runLitmus(const LitmusTest &test, const RuleSet &rules,
+          const InvariantSet &fullInvariants)
+{
+    LitmusOutcome outcome;
+
+    InvariantSet filtered;
+    const InvariantSet &invariants = selectFamilies(
+        fullInvariants, test.restrictToFamilies, filtered);
     Context ctx{&test.scenario};
 
     // Exhaustive interleaving walk with terminal-state collection.

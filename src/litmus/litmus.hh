@@ -74,6 +74,15 @@ struct LitmusOutcome {
  */
 LitmusOutcome runLitmus(const LitmusTest &test);
 
+/**
+ * As above, with the model prebuilt by the caller: @p rules and
+ * @p fullInvariants must match the test's config and device count
+ * (the test's restrictToFamilies filter is still applied here).
+ * CheckSession uses this to share one model build across a suite.
+ */
+LitmusOutcome runLitmus(const LitmusTest &test, const RuleSet &rules,
+                        const InvariantSet &fullInvariants);
+
 /** One step of a guided run. */
 struct GuidedStep {
     std::string ruleName; ///< empty for the initial state

@@ -1,5 +1,6 @@
 #include "litmus/msc.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cxl
@@ -132,10 +133,17 @@ deriveMscEvents(const std::vector<GuidedStep> &steps)
 std::string
 renderMsc(const std::vector<GuidedStep> &steps, const std::string &title)
 {
-    constexpr int kLane = 26; ///< column width per lifeline gap
+    constexpr int kLane = 26; ///< column width per lifeline
 
     std::ostringstream out;
     out << title << "\n\n";
+
+    // Lane order keeps the paper's Figure 5 layout for two devices
+    // and appends a lane per extra device: d1 | host | d2 | d3 | d4.
+    const int ndev = steps.front().state.ndev;
+    auto lane_of = [](int device) {
+        return device < 0 ? 1 : device == 0 ? 0 : device + 1;
+    };
 
     auto center = [](const std::string &txt, int width) {
         if (static_cast<int>(txt.size()) >= width)
@@ -145,62 +153,59 @@ renderMsc(const std::vector<GuidedStep> &steps, const std::string &title)
                std::string(pad - pad / 2, ' ');
     };
 
-    out << center("device 1", kLane) << center("host", kLane)
-        << center("device 2", kLane) << "\n";
-
     const SystemState &init = steps.front().state;
-    out << center("(" + toString(init.dev[0].state) + ")", kLane)
-        << center("(" + toString(init.hstate) + ")", kLane)
-        << center("(" + toString(init.dev[1].state) + ")", kLane)
-        << "\n";
+    std::string header, states;
+    for (int lane = 0; lane < ndev + 1; ++lane) {
+        // Which lifeline occupies this lane (inverse of lane_of).
+        const int device = lane == 1 ? -1 : lane == 0 ? 0 : lane - 1;
+        header += center(device < 0 ? "host"
+                                    : "device " +
+                                          std::to_string(device + 1),
+                         kLane);
+        const std::string st = device < 0
+                                   ? toString(init.hstate)
+                                   : toString(init.dev[device].state);
+        states += center("(" + st + ")", kLane);
+    }
+    out << header << "\n" << states << "\n";
 
-    auto arrow_right = [&](const std::string &label, int width) {
+    // An arrow between the host lane and a device lane spans every
+    // lane in between; the head points at the receiving lifeline.
+    auto arrow = [&](const std::string &label, int from_lane,
+                     int to_lane) {
+        const int lo = std::min(from_lane, to_lane);
+        const int hi = std::max(from_lane, to_lane);
+        const int width = (hi - lo + 1) * kLane;
         std::string line(width, '-');
         std::string txt = label;
         if (static_cast<int>(txt.size()) > width - 4)
             txt = txt.substr(0, width - 4);
         int at = (width - static_cast<int>(txt.size())) / 2;
         line.replace(at, txt.size(), txt);
-        line.back() = '>';
-        return line;
-    };
-    auto arrow_left = [&](const std::string &label, int width) {
-        std::string line = arrow_right(label, width);
-        line.back() = '-';
-        line.front() = '<';
-        return line;
+        if (to_lane > from_lane)
+            line.back() = '>';
+        else
+            line.front() = '<';
+        return std::string(lo * kLane, ' ') + line;
     };
 
-    const std::string gap(kLane, ' ');
     for (const MscEvent &ev : deriveMscEvents(steps)) {
+        const int dev_lane = lane_of(ev.device);
         switch (ev.kind) {
           case MscEvent::Kind::DeviceSend:
-            // device -> host
-            if (ev.device == 0)
-                out << arrow_right(ev.text, 2 * kLane) << gap;
-            else
-                out << gap << arrow_left(ev.text, 2 * kLane);
+            out << arrow(ev.text, dev_lane, lane_of(-1));
             break;
           case MscEvent::Kind::HostSend:
-            // host -> device
-            if (ev.device == 0)
-                out << arrow_left(ev.text, 2 * kLane) << gap;
-            else
-                out << gap << arrow_right(ev.text, 2 * kLane);
+            out << arrow(ev.text, lane_of(-1), dev_lane);
             break;
-          case MscEvent::Kind::Deliver: {
-            std::string txt = "* " + ev.text;
-            int col = ev.device < 0 ? kLane
-                                    : ev.device == 0 ? 0 : 2 * kLane;
-            out << std::string(col, ' ') << txt;
+          case MscEvent::Kind::Deliver:
+            out << std::string(dev_lane * kLane, ' ') << "* "
+                << ev.text;
             break;
-          }
-          case MscEvent::Kind::Note: {
-            std::string txt = "[" + ev.text + "]";
-            int col = ev.device < 0 ? kLane : ev.device * 2 * kLane;
-            out << std::string(col, ' ') << txt;
+          case MscEvent::Kind::Note:
+            out << std::string(dev_lane * kLane, ' ') << "["
+                << ev.text << "]";
             break;
-          }
         }
         out << "   (" << ev.rule << ")\n";
     }

@@ -3,10 +3,13 @@
  * Message-sequence-chart renderer (paper Figure 5).
  *
  * Derives send/receive events generically by diffing the channel
- * contents of consecutive trace states, then draws a three-lifeline
- * ASCII chart (device 1 | host | device 2) with cacheline-state
- * annotations, in the style of the CXL webinar chart the paper
- * reproduces.
+ * contents of consecutive trace states, then draws an ASCII chart
+ * with one lifeline per active device plus the host (device 1 | host
+ * | device 2 | device 3 | ...) with cacheline-state annotations, in
+ * the style of the CXL webinar chart the paper reproduces.  The
+ * two-device layout is identical to the paper's Figure 5 chart;
+ * larger device counts add a lane per device, and arrows between the
+ * host and an outer device cross the intermediate lanes.
  */
 
 #ifndef CXL_LITMUS_MSC_HH

@@ -1,11 +1,19 @@
 #include "litmus/trace_table.hh"
 
+#include <cassert>
+
 #include "support/table.hh"
 
 namespace cxl
 {
 namespace
 {
+
+constexpr int kDeviceColumnKinds = 8;
+
+static_assert(kMaxDevices == 4,
+              "the StateColumn enumerator grid spells out 4 device "
+              "slots per kind");
 
 template <typename T, std::size_t N>
 std::string
@@ -64,30 +72,48 @@ renderSteps(const std::vector<Step> &steps, const Scenario &scenario,
 
 } // namespace
 
+StateColumn
+deviceColumn(DeviceColumn kind, int dev)
+{
+    assert(dev >= 0 && dev < kMaxDevices);
+    return static_cast<StateColumn>(
+        static_cast<int>(kind) * kMaxDevices + dev);
+}
+
+std::vector<StateColumn>
+defaultTraceColumns(int ndev)
+{
+    std::vector<StateColumn> cols;
+    cols.push_back(deviceColumn(DeviceColumn::DCache, 0));
+    cols.push_back(StateColumn::HCache);
+    for (int d = 1; d < ndev; ++d)
+        cols.push_back(deviceColumn(DeviceColumn::DCache, d));
+    for (int d = 0; d < ndev; ++d) {
+        cols.push_back(deviceColumn(DeviceColumn::H2DReq, d));
+        cols.push_back(deviceColumn(DeviceColumn::H2DRsp, d));
+        cols.push_back(deviceColumn(DeviceColumn::D2HRsp, d));
+    }
+    return cols;
+}
+
 std::string
 columnName(StateColumn col)
 {
     switch (col) {
-      case StateColumn::DProg1: return "DProg1";
-      case StateColumn::DProg2: return "DProg2";
-      case StateColumn::DCache1: return "DCache1";
-      case StateColumn::DCache2: return "DCache2";
-      case StateColumn::D2HReq1: return "D2HReq1";
-      case StateColumn::D2HReq2: return "D2HReq2";
-      case StateColumn::D2HRsp1: return "D2HRsp1";
-      case StateColumn::D2HRsp2: return "D2HRsp2";
-      case StateColumn::D2HData1: return "D2HData1";
-      case StateColumn::D2HData2: return "D2HData2";
-      case StateColumn::H2DReq1: return "H2DReq1";
-      case StateColumn::H2DReq2: return "H2DReq2";
-      case StateColumn::H2DRsp1: return "H2DRsp1";
-      case StateColumn::H2DRsp2: return "H2DRsp2";
-      case StateColumn::H2DData1: return "H2DData1";
-      case StateColumn::H2DData2: return "H2DData2";
       case StateColumn::HCache: return "HCache";
       case StateColumn::Counter: return "Counter";
+      default: break;
     }
-    return "?";
+    const int v = static_cast<int>(col);
+    const int dev = v % kMaxDevices;
+    static const char *const kKindNames[kDeviceColumnKinds] = {
+        "DProg", "DCache", "D2HReq", "D2HRsp",
+        "D2HData", "H2DReq", "H2DRsp", "H2DData",
+    };
+    const int kind = v / kMaxDevices;
+    if (kind >= kDeviceColumnKinds)
+        return "?";
+    return std::string(kKindNames[kind]) + std::to_string(dev + 1);
 }
 
 std::string
@@ -95,27 +121,26 @@ formatColumn(const SystemState &s, const Scenario &scenario,
              StateColumn col)
 {
     switch (col) {
-      case StateColumn::DProg1: return progText(s, scenario, 0);
-      case StateColumn::DProg2: return progText(s, scenario, 1);
-      case StateColumn::DCache1:
-        return cacheText(s.dev[0].val, toString(s.dev[0].state));
-      case StateColumn::DCache2:
-        return cacheText(s.dev[1].val, toString(s.dev[1].state));
-      case StateColumn::D2HReq1: return chanText(s.dev[0].d2hReq);
-      case StateColumn::D2HReq2: return chanText(s.dev[1].d2hReq);
-      case StateColumn::D2HRsp1: return chanText(s.dev[0].d2hRsp);
-      case StateColumn::D2HRsp2: return chanText(s.dev[1].d2hRsp);
-      case StateColumn::D2HData1: return chanText(s.dev[0].d2hData);
-      case StateColumn::D2HData2: return chanText(s.dev[1].d2hData);
-      case StateColumn::H2DReq1: return chanText(s.dev[0].h2dReq);
-      case StateColumn::H2DReq2: return chanText(s.dev[1].h2dReq);
-      case StateColumn::H2DRsp1: return chanText(s.dev[0].h2dRsp);
-      case StateColumn::H2DRsp2: return chanText(s.dev[1].h2dRsp);
-      case StateColumn::H2DData1: return chanText(s.dev[0].h2dData);
-      case StateColumn::H2DData2: return chanText(s.dev[1].h2dData);
       case StateColumn::HCache:
         return cacheText(s.hval, toString(s.hstate));
       case StateColumn::Counter: return std::to_string(s.counter);
+      default: break;
+    }
+    const int v = static_cast<int>(col);
+    const int dev = v % kMaxDevices;
+    const DeviceColumn kind =
+        static_cast<DeviceColumn>(v / kMaxDevices);
+    const DeviceState &d = s.dev[dev];
+    switch (kind) {
+      case DeviceColumn::DProg: return progText(s, scenario, dev);
+      case DeviceColumn::DCache:
+        return cacheText(d.val, toString(d.state));
+      case DeviceColumn::D2HReq: return chanText(d.d2hReq);
+      case DeviceColumn::D2HRsp: return chanText(d.d2hRsp);
+      case DeviceColumn::D2HData: return chanText(d.d2hData);
+      case DeviceColumn::H2DReq: return chanText(d.h2dReq);
+      case DeviceColumn::H2DRsp: return chanText(d.h2dRsp);
+      case DeviceColumn::H2DData: return chanText(d.h2dData);
     }
     return "?";
 }

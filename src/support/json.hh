@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal JSON emission shared by the CheckResult renderers and the
+ * bench harnesses' `--json <path>` outputs (BENCH_*.json).  Insertion
+ * order is preserved so emitted schemas are stable and diffable.
+ */
+
+#ifndef CXL_SUPPORT_JSON_HH
+#define CXL_SUPPORT_JSON_HH
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cxl
+{
+
+/**
+ * Minimal JSON object builder.  Insertion order is preserved; values
+ * are numbers, strings, booleans, or pre-rendered JSON (for nested
+ * arrays of row objects).
+ */
+class JsonObject
+{
+  public:
+    JsonObject &
+    num(const std::string &key, double value)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        return raw(key, buf);
+    }
+
+    JsonObject &
+    num(const std::string &key, std::uint64_t value)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+        return raw(key, buf);
+    }
+
+    JsonObject &
+    str(const std::string &key, const std::string &value)
+    {
+        return raw(key, quote(value));
+    }
+
+    JsonObject &
+    boolean(const std::string &key, bool value)
+    {
+        return raw(key, value ? "true" : "false");
+    }
+
+    /** Attach an already-rendered JSON value (object/array/null). */
+    JsonObject &
+    raw(const std::string &key, const std::string &rendered)
+    {
+        if (!body_.empty())
+            body_ += ", ";
+        body_ += quote(key) + ": " + rendered;
+        return *this;
+    }
+
+    std::string render() const { return "{" + body_ + "}"; }
+
+    /** Render a JSON array from pre-rendered element values. */
+    static std::string
+    array(const std::vector<std::string> &elements)
+    {
+        std::string txt = "[";
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            if (i)
+                txt += ", ";
+            txt += elements[i];
+        }
+        return txt + "]";
+    }
+
+    /** Quote and escape a string as a standalone JSON value. */
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out + "\"";
+    }
+
+  private:
+    std::string body_;
+};
+
+/** Write @p json to @p path; reports failure on stderr. */
+inline bool
+writeJsonFile(const std::string &path, const JsonObject &json)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string txt = json.render() + "\n";
+    std::fwrite(txt.data(), 1, txt.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_JSON_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Process resource probes: peak RSS, reported in CheckResult JSON and
+ * the bench harnesses' memory summaries.
+ */
+
+#ifndef CXL_SUPPORT_RESOURCE_HH
+#define CXL_SUPPORT_RESOURCE_HH
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cxl
+{
+
+/** Peak resident set size of this process so far, in bytes (0 when
+ * the platform offers no getrusage). */
+inline std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_RESOURCE_HH
