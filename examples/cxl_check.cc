@@ -13,7 +13,8 @@
  *                                    goldens diff against
  *
  * Standard flags: --devices N, --threads N, --sym/--no-sym,
- * --compact, --max-states N, --expect-states N, --json [PATH].
+ * --compact, --por/--no-por, --max-states N, --expect-states N,
+ * --json [PATH].
  *
  * Exit status: 0 when every run matches its scenario's expectation
  * (holds, or reaches the expected violation family), 1 on a

@@ -112,9 +112,11 @@ CheckResult::renderText(bool withTrace) const
                   scenario.c_str(), devices, numRules, numConjuncts);
     out += line;
     std::snprintf(line, sizeof(line),
-                  "engine: %zu thread(s), symmetry %s, %s store\n",
+                  "engine: %zu thread(s), symmetry %s, %s store, "
+                  "por %s\n",
                   threads, symmetryReduction ? "on" : "off",
-                  compaction ? "hash-compacted" : "full");
+                  compaction ? "hash-compacted" : "full",
+                  por ? "on" : "off");
     out += line;
     std::snprintf(
         line, sizeof(line),
@@ -125,6 +127,30 @@ CheckResult::renderText(bool withTrace) const
         seconds,
         seconds > 0 ? static_cast<double>(states) / seconds : 0.0);
     out += line;
+    if (verdict == Verdict::Incomplete && threads > 1) {
+        // A parallel capped run stops at a thread-dependent point:
+        // the soft maxStates cap may be overshot by up to one state
+        // per worker, so the counts above are not exact run
+        // properties.  (A single-threaded capped run is exact and
+        // reproducible, so it carries no qualifier.)
+        out += "(capped run: counts are thread-dependent — the "
+               "maxStates soft cap can overshoot by up to one state "
+               "per worker; re-run uncapped for comparable counts)\n";
+    }
+    if (por) {
+        const std::uint64_t candidates =
+            transitions + sleptTransitions;
+        std::snprintf(
+            line, sizeof(line),
+            "por: slept %llu of %llu enabled firings (%.1f%%)\n",
+            static_cast<unsigned long long>(sleptTransitions),
+            static_cast<unsigned long long>(candidates),
+            candidates > 0 ? 100.0 *
+                                 static_cast<double>(sleptTransitions) /
+                                 static_cast<double>(candidates)
+                           : 0.0);
+        out += line;
+    }
 
     std::size_t exercised = 0;
     for (const RuleFire &rf : ruleFires)
@@ -164,11 +190,13 @@ CheckResult::renderJson() const
         .num("threads", static_cast<std::uint64_t>(threads))
         .boolean("symmetry_reduction", symmetryReduction)
         .boolean("compact", compaction)
+        .boolean("por", por)
         .num("max_states", maxStates)
         .num("rules", static_cast<std::uint64_t>(numRules))
         .num("conjuncts", static_cast<std::uint64_t>(numConjuncts))
         .num("states", states)
         .num("transitions", transitions)
+        .num("slept_transitions", sleptTransitions)
         .num("diameter", static_cast<std::uint64_t>(diameter))
         .boolean("completed", completed)
         .num("seconds", seconds)
@@ -331,6 +359,7 @@ CheckSession::run(const CheckRequest &request)
         opt.maxStates = engine.maxStates;
     opt.expectedStates = engine.expectedStates;
     opt.compaction = engine.store == StoreKind::Compact;
+    opt.por = engine.por;
     opt.symmetryReduction =
         engine.symmetry == SymmetryMode::On ||
         (engine.symmetry == SymmetryMode::Auto &&
@@ -352,6 +381,7 @@ CheckSession::run(const CheckRequest &request)
     out.threads = resolvedThreads(engine.threads);
     out.symmetryReduction = opt.symmetryReduction;
     out.compaction = opt.compaction;
+    out.por = opt.por;
     out.maxStates = opt.maxStates;
     out.states = res.numStates;
     out.transitions = res.numTransitions;
@@ -359,6 +389,7 @@ CheckSession::run(const CheckRequest &request)
     out.completed = res.completed;
     out.seconds = res.seconds;
     out.probeCollisions = res.probeCollisions;
+    out.sleptTransitions = res.sleptTransitions;
 
     if (res.violation) {
         out.verdict = res.violation->kind == Violation::Kind::Deadlock
@@ -383,7 +414,12 @@ CheckSession::run(const CheckRequest &request)
             rule.id < res.ruleFireCounts.size()
                 ? res.ruleFireCounts[rule.id]
                 : 0;
-        out.ruleFires.push_back({rule.name, rule.mutated, fires});
+        const std::uint64_t slept =
+            rule.id < res.ruleSleptCounts.size()
+                ? res.ruleSleptCounts[rule.id]
+                : 0;
+        out.ruleFires.push_back(
+            {rule.name, rule.mutated, fires, slept});
     }
     out.violation = std::move(res.violation);
     return out;

@@ -75,6 +75,17 @@ struct EngineOptions {
     SymmetryMode symmetry = SymmetryMode::Auto;
     StoreKind store = StoreKind::Full;
 
+    /**
+     * Partial-order reduction (sleep sets over static rule
+     * footprints; `--por`).  Off by default.  Prunes commuting
+     * interleavings: every reachable state is still visited at its
+     * minimal BFS depth, so verdicts, violated-conjunct sets, state
+     * counts and diameters are identical to an unreduced run — only
+     * the transition count (and time) drops.  Composes with both
+     * symmetry modes and StoreKind::Compact.
+     */
+    bool por = false;
+
     /** State cap; 0 = the explorer's built-in default. */
     std::uint64_t maxStates = 0;
 
@@ -130,6 +141,9 @@ struct RuleFire {
     std::string name;
     bool mutated = false;
     std::uint64_t fires = 0;
+    /** Enabled firings pruned by partial-order reduction (0 when
+     * POR is off). */
+    std::uint64_t slept = 0;
 };
 
 /** Structured result of one CheckSession::run. */
@@ -153,6 +167,7 @@ struct CheckResult {
     std::size_t threads = 0;  ///< resolved worker count (never 0)
     bool symmetryReduction = false;
     bool compaction = false;
+    bool por = false;
     std::uint64_t maxStates = 0;
 
     // ---- measurements ------------------------------------------------
@@ -162,6 +177,10 @@ struct CheckResult {
     bool completed = false;
     double seconds = 0.0;
     std::uint64_t probeCollisions = 0;
+
+    /** Firings pruned by POR; transitions + sleptTransitions is the
+     * unreduced fan-out of the same state space. */
+    std::uint64_t sleptTransitions = 0;
 
     // ---- verdict -----------------------------------------------------
     Verdict verdict = Verdict::Incomplete;

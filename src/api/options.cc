@@ -21,6 +21,13 @@ standardOptions(const CliArgs &args, const char *defaultJsonPath)
     if (args.has("compact"))
         opt.engine.store = StoreKind::Compact;
 
+    // Partial-order reduction is opt-in; --no-por wins when both
+    // appear (sweep scripts append overrides).
+    if (args.has("no-por"))
+        opt.engine.por = false;
+    else if (args.has("por"))
+        opt.engine.por = true;
+
     if (args.has("max-states")) {
         const std::int64_t n = args.getInt("max-states", 0);
         if (n < 1) {

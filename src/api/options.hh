@@ -3,8 +3,9 @@
  * Shared command-line surface of the bench/example front-ends: one
  * helper resolves the flags every binary used to re-plumb by hand —
  * `--devices`, `--threads`, `--sym`/`--no-sym`, `--compact`,
- * `--max-states`, `--expect-states`, `--json` — into a device count
- * plus the EngineOptions a CheckSession is constructed with.
+ * `--por`/`--no-por`, `--max-states`, `--expect-states`, `--json` —
+ * into a device count plus the EngineOptions a CheckSession is
+ * constructed with.
  */
 
 #ifndef CXL_API_OPTIONS_HH

@@ -8,7 +8,9 @@
 #include <optional>
 #include <thread>
 #include <tuple>
+#include <utility>
 
+#include "checker/por.hh"
 #include "support/thread_pool.hh"
 
 namespace cxl
@@ -73,6 +75,28 @@ struct PendingOverflow {
     std::uint64_t parentHash;
 };
 
+/**
+ * POR: one generated edge, recorded compactly (12 bytes, not the
+ * 96-byte mask) so a whole BFS level's edges fit in scratch at
+ * 4-device scale.  The edge's sleep-mask contribution is re-derived
+ * at the quiescent barrier from the source state's frontier mask,
+ * the within-node fired order (edges of one node are contiguous in a
+ * worker's log, in ascending rule order) and the recorded
+ * canonicalisation permutation.
+ */
+struct MaskEdge {
+    std::uint32_t id;      ///< target store id (filled post-flush)
+    std::uint32_t nodePos; ///< source position in the frontier
+    std::uint16_t rule;
+    std::uint8_t permKey;  ///< PorContext::permKey of the canon perm
+};
+
+/** Per-successor metadata staged alongside the insert batch. */
+struct EdgeMeta {
+    std::uint32_t nodePos;
+    std::uint8_t permKey;
+};
+
 /** Per-worker scratch, reused across levels so the hot path stays
  * allocation-free once capacities have warmed up. */
 struct WorkerScratch {
@@ -83,6 +107,16 @@ struct WorkerScratch {
     std::vector<Candidate> candidates;
     std::vector<std::uint64_t> ruleFires;
     std::uint64_t transitions = 0;
+
+    // Partial-order reduction bookkeeping (unused when por is off).
+    std::vector<std::uint16_t> sleptRules; ///< per-node scratch
+    std::vector<EdgeMeta> batchMeta;       ///< aligned with batch
+    /** Every generated edge this level, resolved into sleep masks at
+     * the barrier (same-level edges into one state merge by
+     * intersection; deterministic for any thread count). */
+    std::vector<MaskEdge> maskEdges;
+    std::vector<std::uint64_t> ruleSlept;
+    std::uint64_t slept = 0;
 };
 
 } // namespace
@@ -156,6 +190,16 @@ Explorer::run(const ExploreOptions &options)
 
     ExploreResult result;
     result.ruleFireCounts.assign(rules_.rules().size(), 0);
+    result.ruleSleptCounts.assign(rules_.rules().size(), 0);
+
+    // Sleep-set reduction context: the pairwise independence relation
+    // from the rules' static footprints and, under symmetry, the
+    // per-permutation rule remap tables.  Throws when the rule set
+    // exceeds the POR engine's mask width.
+    std::optional<PorContext> por;
+    if (options.por)
+        por.emplace(rules_, options.symmetryReduction,
+                    options.canonicaliseTids);
 
     StateStore store(1 << 16, options.compaction ? StoreMode::Compact
                                                  : StoreMode::Full);
@@ -242,14 +286,24 @@ Explorer::run(const ExploreOptions &options)
 
     // The frontier holds packed store ids only; workers read the
     // state bytes straight out of the store's pointer-stable arena,
-    // so states are never copied into per-level queues.
+    // so states are never copied into per-level queues.  Under POR a
+    // parallel vector carries each frontier state's sleep mask (the
+    // initial state sleeps nothing).
     std::vector<std::uint32_t> frontier, next_frontier;
+    std::vector<RuleMask> frontier_masks, next_masks;
     frontier.push_back(init_idx);
+    if (options.por)
+        frontier_masks.emplace_back();
+    const RuleMask all_rules_mask =
+        RuleMask::firstN(rules_.rules().size());
     store.sealLevel(); // establish the level-0 boundary
 
     std::vector<WorkerScratch> scratch(threads);
-    for (WorkerScratch &s : scratch)
+    for (WorkerScratch &s : scratch) {
         s.ruleFires.assign(rules_.rules().size(), 0);
+        if (options.por)
+            s.ruleSlept.assign(rules_.rules().size(), 0);
+    }
 
     // Constructed lazily at the first level that actually goes
     // parallel: small explorations (e.g. the deadlock grid's hundreds
@@ -311,7 +365,19 @@ Explorer::run(const ExploreOptions &options)
                      po.parentHash});
             }
             ws.overflows.clear();
-            for (const StateStore::BatchItem &item : ws.batch) {
+            for (std::size_t bi = 0; bi < ws.batch.size(); ++bi) {
+                const StateStore::BatchItem &item = ws.batch[bi];
+                // Every edge is logged, including edges landing on
+                // already-known states: if the target turns out to
+                // sit in the level being built, the barrier
+                // intersects all its incoming masks (breadcrumb
+                // columns cannot be read here — peers are still
+                // inserting).
+                if (options.por) {
+                    ws.maskEdges.push_back(
+                        {item.id, ws.batchMeta[bi].nodePos, item.rule,
+                         ws.batchMeta[bi].permKey});
+                }
                 if (!item.inserted)
                     continue;
                 if (options.checkInvariants) {
@@ -325,6 +391,7 @@ Explorer::run(const ExploreOptions &options)
                 ws.next.push_back(item.id);
             }
             ws.batch.clear();
+            ws.batchMeta.clear();
         };
 
         auto workLevel = [&](WorkerScratch &ws) {
@@ -351,12 +418,26 @@ Explorer::run(const ExploreOptions &options)
                         node_ptr = &store.stateAt(node_idx);
                     }
                     const SystemState &node_state = *node_ptr;
-                    rules_.successorsInto(node_state, scenario_,
-                                          options.canonicaliseTids,
-                                          ws.succs);
+                    if (options.por) {
+                        rules_.successorsPor(
+                            node_state, scenario_,
+                            options.canonicaliseTids,
+                            frontier_masks[i].words.data(), ws.succs,
+                            ws.sleptRules);
+                        ws.slept += ws.sleptRules.size();
+                        for (std::uint16_t r : ws.sleptRules)
+                            ++ws.ruleSlept[r];
+                    } else {
+                        rules_.successorsInto(node_state, scenario_,
+                                              options.canonicaliseTids,
+                                              ws.succs);
+                    }
 
-                    if (ws.succs.empty() && options.checkDeadlock &&
-                        !scenario_.freeRun &&
+                    // Deadlock = no *enabled* rule; slept rules are
+                    // enabled, merely not fired from here.
+                    if (ws.succs.empty() &&
+                        (!options.por || ws.sleptRules.empty()) &&
+                        options.checkDeadlock && !scenario_.freeRun &&
                         !scenario_.finished(node_state)) {
                         ws.candidates.push_back(
                             {Violation::Kind::Deadlock, nullptr,
@@ -372,7 +453,32 @@ Explorer::run(const ExploreOptions &options)
                     for (auto &succ : ws.succs) {
                         ++ws.transitions;
                         ++ws.ruleFires[succ.rule->id];
-                        symmetry_canon(succ.state);
+                        // Under POR only the edge descriptor is
+                        // recorded here; its sleep-mask contribution
+                        // — (node sleep ∪ {rules fired before it}) ∩
+                        // indep(rule), relabelled through the
+                        // canonicalising permutation — is re-derived
+                        // at the barrier, where the store is
+                        // quiescent and the masks need not be
+                        // materialised per edge.
+                        std::uint8_t perm_key =
+                            PorContext::kIdentityPermKey;
+                        if (options.symmetryReduction) {
+                            std::uint8_t perm[kMaxDevices];
+                            succ.state = succ.state.deviceCanonical(
+                                options.canonicaliseTids,
+                                options.canonicaliseTids,
+                                options.por ? perm : nullptr);
+                            if (options.por) {
+                                perm_key = PorContext::permKey(
+                                    perm, rules_.numDevices());
+                            }
+                        }
+                        if (options.por) {
+                            ws.batchMeta.push_back(
+                                {static_cast<std::uint32_t>(i),
+                                 perm_key});
+                        }
 
                         StateStore::BatchItem item;
                         item.hash = succ.state.hash();
@@ -443,9 +549,15 @@ Explorer::run(const ExploreOptions &options)
         for (WorkerScratch &ws : scratch) {
             result.numTransitions += ws.transitions;
             ws.transitions = 0;
+            result.sleptTransitions += ws.slept;
+            ws.slept = 0;
             for (std::size_t r = 0; r < ws.ruleFires.size(); ++r) {
                 result.ruleFireCounts[r] += ws.ruleFires[r];
                 ws.ruleFires[r] = 0;
+            }
+            for (std::size_t r = 0; r < ws.ruleSlept.size(); ++r) {
+                result.ruleSleptCounts[r] += ws.ruleSlept[r];
+                ws.ruleSlept[r] = 0;
             }
             next_frontier.insert(next_frontier.end(), ws.next.begin(),
                                  ws.next.end());
@@ -468,10 +580,54 @@ Explorer::run(const ExploreOptions &options)
         if (violation_stopped || cap_stopped)
             break;
 
+        if (options.por) {
+            // Resolve the next level's sleep masks from the edge
+            // logs: walk each worker's log (edges of one node are
+            // contiguous, in fired order), rebuild the accumulator
+            // (node sleep ∪ fired-so-far), and intersect each
+            // same-level edge's contribution into its target — a
+            // state inserted this level sleeps the intersection over
+            // every same-level edge into it (intersection is
+            // order-free, so the result is thread-count-independent).
+            // Edges into older states carry no information forward.
+            std::sort(next_frontier.begin(), next_frontier.end());
+            next_masks.assign(next_frontier.size(), all_rules_mask);
+            for (WorkerScratch &ws : scratch) {
+                std::size_t j = 0;
+                while (j < ws.maskEdges.size()) {
+                    const std::uint32_t node_pos =
+                        ws.maskEdges[j].nodePos;
+                    RuleMask acc = frontier_masks[node_pos];
+                    for (; j < ws.maskEdges.size() &&
+                           ws.maskEdges[j].nodePos == node_pos;
+                         ++j) {
+                        const MaskEdge &e = ws.maskEdges[j];
+                        if (store.depthAt(e.id) == depth + 1) {
+                            RuleMask m =
+                                acc & por->independentOf(e.rule);
+                            if (e.permKey !=
+                                    PorContext::kIdentityPermKey &&
+                                !m.none()) {
+                                m = por->remapByKey(m, e.permKey);
+                            }
+                            const auto it = std::lower_bound(
+                                next_frontier.begin(),
+                                next_frontier.end(), e.id);
+                            next_masks[static_cast<std::size_t>(
+                                it - next_frontier.begin())] &= m;
+                        }
+                        acc.set(e.rule);
+                    }
+                }
+                ws.maskEdges.clear();
+            }
+        }
+
         // Quiescent barrier hook: in compact mode this releases the
         // state bytes of the level whose expansion just finished.
         store.sealLevel();
         frontier.swap(next_frontier);
+        frontier_masks.swap(next_masks);
         ++depth;
     }
 

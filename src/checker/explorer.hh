@@ -77,6 +77,20 @@ struct ExploreOptions {
      */
     std::uint64_t expectedStates = 0;
 
+    /**
+     * Partial-order reduction (sleep sets over the rules' static
+     * dependency footprints): prune successor firings whose effect is
+     * covered by a commuting interleaving explored elsewhere in the
+     * same BFS level structure.  Every reachable state is still
+     * visited at its minimal depth, so state counts, diameters,
+     * verdicts and violated-conjunct sets are identical to an
+     * unreduced run — only numTransitions (and wall-clock) drop.
+     * Composes with symmetryReduction (sleep masks are relabelled
+     * through the canonicalising device permutation) and compaction.
+     * See checker/por.hh.
+     */
+    bool por = false;
+
     /** Evaluate the invariant set on every reachable state. */
     bool checkInvariants = true;
 
@@ -179,6 +193,17 @@ struct ExploreResult {
 
     /** Per-rule firing counts, indexed by rule id. */
     std::vector<std::uint64_t> ruleFireCounts;
+
+    /**
+     * Partial-order reduction accounting (zero when por is off):
+     * enabled rule firings skipped because the rule sat in the
+     * expanded state's sleep set.  numTransitions + sleptTransitions
+     * is what an unreduced run of the same space would have explored.
+     */
+    std::uint64_t sleptTransitions = 0;
+
+    /** Per-rule slept-firing counts, indexed by rule id (por only). */
+    std::vector<std::uint64_t> ruleSleptCounts;
 };
 
 /**

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Partial-order reduction support: rule bitmasks, the static
+ * independence relation, and device-permutation remapping of sleep
+ * sets.
+ *
+ * The explorer's reduction is a *sleep-set* scheme (Godefroid/Peled
+ * family) driven by the static dependency footprints every rule
+ * declares (fp::Footprint in protocol/rules.hh): two rules are
+ * independent iff neither writes an atom the other reads or writes,
+ * which guarantees they commute and cannot enable/disable each other.
+ * At each expanded state the explorer skips firing the enabled rules
+ * in the state's sleep mask; a successor reached by rule t inherits
+ * `(sleep ∪ {rules fired before t}) ∩ indep(t)`.  Unlike ample-set
+ * reduction this prunes *edges only*: every reachable state is still
+ * visited at its minimal BFS depth (see the soundness argument in
+ * docs/ARCHITECTURE.md), so state counts, diameters, verdicts and
+ * violated-conjunct sets are bit-identical to an unreduced run — only
+ * the transition count drops.
+ *
+ * When device-permutation symmetry reduction is also on, successor
+ * states are canonicalised before insertion; the sleep mask must then
+ * be relabelled through the same permutation (rule -> its image
+ * instance, via RuleSet::permutedRuleId).  PorContext precomputes one
+ * rule remap table per permutation of the active devices.
+ */
+
+#ifndef CXL_CHECKER_POR_HH
+#define CXL_CHECKER_POR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "protocol/rules.hh"
+#include "protocol/state.hh"
+
+namespace cxl
+{
+
+/**
+ * Rule-count ceiling of the POR engine.  The largest generated set
+ * (4 devices, every mutation on) stays well below this; custom rule
+ * sets beyond it simply cannot enable POR.
+ */
+constexpr std::size_t kMaxPorRules = 768;
+constexpr std::size_t kRuleMaskWords = kMaxPorRules / 64;
+
+/** Fixed-width bitset over rule ids (the sleep-set currency). */
+struct RuleMask {
+    std::array<std::uint64_t, kRuleMaskWords> words{};
+
+    void
+    set(std::size_t bit)
+    {
+        words[bit >> 6] |= 1ull << (bit & 63);
+    }
+
+    bool
+    test(std::size_t bit) const
+    {
+        return (words[bit >> 6] >> (bit & 63)) & 1u;
+    }
+
+    bool
+    none() const
+    {
+        for (std::uint64_t w : words) {
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    RuleMask &
+    operator&=(const RuleMask &o)
+    {
+        for (std::size_t i = 0; i < kRuleMaskWords; ++i)
+            words[i] &= o.words[i];
+        return *this;
+    }
+
+    RuleMask &
+    operator|=(const RuleMask &o)
+    {
+        for (std::size_t i = 0; i < kRuleMaskWords; ++i)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    friend RuleMask
+    operator&(RuleMask a, const RuleMask &b)
+    {
+        a &= b;
+        return a;
+    }
+
+    friend bool
+    operator==(const RuleMask &a, const RuleMask &b)
+    {
+        return a.words == b.words;
+    }
+
+    /** Mask with the low @p n bits set. */
+    static RuleMask
+    firstN(std::size_t n)
+    {
+        RuleMask m;
+        for (std::size_t i = 0; i < kRuleMaskWords; ++i) {
+            if (n >= 64 * (i + 1))
+                m.words[i] = ~0ull;
+            else if (n > 64 * i)
+                m.words[i] = (1ull << (n - 64 * i)) - 1;
+        }
+        return m;
+    }
+};
+
+/**
+ * Precomputed reduction context for one (RuleSet, symmetry) pair:
+ * the pairwise independence masks and, under symmetry, the rule
+ * remap table for every device permutation.
+ */
+class PorContext
+{
+  public:
+    /**
+     * @param symmetry build the permutation remap tables (the rule
+     *        set's device count fixes the permutation group).
+     * @param tid_canonical successors are tid-canonicalised, so
+     *        alloc-only counter conflicts may be forgiven (see
+     *        fp::Footprint::counterAllocOnly).
+     */
+    PorContext(const RuleSet &rules, bool symmetry,
+               bool tid_canonical = true);
+
+    /** Rules statically independent of @p rule. */
+    const RuleMask &
+    independentOf(std::uint16_t rule) const
+    {
+        return indep_[rule];
+    }
+
+    std::size_t numRules() const { return num_rules_; }
+
+    /** True iff @p perm (new index -> old index) is the identity. */
+    bool
+    identity(const std::uint8_t *perm) const
+    {
+        for (int n = 0; n < ndev_; ++n) {
+            if (perm[n] != n)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * The image of @p mask under device permutation @p perm (new
+     * index -> old index, as reported by deviceCanonical): every rule
+     * in the mask is mapped to the instance acting on the relabelled
+     * devices.  Rules without a mappable image are dropped — always
+     * sound, it only forgoes reduction.
+     */
+    RuleMask remap(const RuleMask &mask, const std::uint8_t *perm) const;
+
+    /** As remap(), keyed by a packed permKey() byte — the explorer
+     * records one byte per edge and resolves masks at the barrier. */
+    RuleMask remapByKey(const RuleMask &mask, std::uint8_t key) const;
+
+    /** Packed lookup key of a new->old permutation (2 bits/slot). */
+    static std::uint8_t
+    permKey(const std::uint8_t *perm, int ndev)
+    {
+        unsigned key = 0;
+        for (int n = 0; n < kMaxDevices; ++n)
+            key |= static_cast<unsigned>(n < ndev ? perm[n] : n)
+                   << (2 * n);
+        return static_cast<std::uint8_t>(key);
+    }
+
+    /** permKey() of the identity permutation (any device count). */
+    static constexpr std::uint8_t kIdentityPermKey =
+        0 | (1u << 2) | (2u << 4) | (3u << 6);
+
+  private:
+
+    std::size_t num_rules_ = 0;
+    int ndev_ = 0;
+    std::vector<RuleMask> indep_;
+
+    /** permKey -> index into tables_ (-1: not a valid permutation). */
+    std::array<std::int16_t, 256> table_index_;
+    /** Per-permutation rule remap (-1: no image instance). */
+    std::vector<std::vector<std::int16_t>> tables_;
+};
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_POR_HH

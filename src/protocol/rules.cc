@@ -81,6 +81,23 @@ otherGrantDataDrained(const SystemState &s, int i)
     return true;
 }
 
+namespace
+{
+
+/** Lookup key of one template instance: base + device-arg tuple. */
+std::string
+instanceKey(const std::string &base, const std::array<std::int8_t, 3> &args)
+{
+    std::string key = base;
+    for (std::int8_t a : args) {
+        key += '/';
+        key += static_cast<char>('0' + (a + 1));
+    }
+    return key;
+}
+
+} // namespace
+
 RuleSet::RuleSet(ProtocolConfig config, int numDevices)
     : config_(config), num_devices_(numDevices)
 {
@@ -91,6 +108,36 @@ RuleSet::RuleSet(ProtocolConfig config, int numDevices)
         addHostRules(rules_, d, config_, num_devices_);
     for (std::size_t i = 0; i < rules_.size(); ++i)
         rules_[i].id = static_cast<std::uint16_t>(i);
+    indexInstances();
+}
+
+void
+RuleSet::indexInstances()
+{
+    instances_.clear();
+    for (const Rule &r : rules_) {
+        if (r.base.empty())
+            continue;
+        instances_.emplace(instanceKey(r.base, r.args), r.id);
+    }
+}
+
+int
+RuleSet::permutedRuleId(std::uint16_t id,
+                        const std::uint8_t *oldToNew) const
+{
+    const Rule &r = rules_[id];
+    if (r.base.empty())
+        return -1;
+    std::array<std::int8_t, 3> mapped = r.args;
+    for (std::int8_t &a : mapped) {
+        if (a >= 0) {
+            assert(a < num_devices_);
+            a = static_cast<std::int8_t>(oldToNew[a]);
+        }
+    }
+    auto it = instances_.find(instanceKey(r.base, mapped));
+    return it == instances_.end() ? -1 : static_cast<int>(it->second);
 }
 
 std::size_t
@@ -106,6 +153,10 @@ RuleSet::addRule(Rule rule)
 {
     rule.id = static_cast<std::uint16_t>(rules_.size());
     rules_.push_back(std::move(rule));
+    const Rule &added = rules_.back();
+    if (!added.base.empty())
+        instances_.emplace(instanceKey(added.base, added.args),
+                           added.id);
 }
 
 const Rule *
@@ -138,6 +189,31 @@ RuleSet::successorsInto(const SystemState &state,
         if (!rule.guard(state, ctx))
             continue;
         Successor &succ = out.emplace_back(Successor{&rule, state, false});
+        succ.overflow = !rule.apply(succ.state, ctx);
+        if (canonicalise)
+            succ.state.canonicaliseTids();
+    }
+}
+
+void
+RuleSet::successorsPor(const SystemState &state,
+                       const Scenario &scenario, bool canonicalise,
+                       const std::uint64_t *sleep,
+                       std::vector<Successor> &out,
+                       std::vector<std::uint16_t> &slept) const
+{
+    out.clear();
+    slept.clear();
+    Context ctx{&scenario};
+    for (const Rule &rule : rules_) {
+        if (!rule.guard(state, ctx))
+            continue;
+        if (sleep[rule.id >> 6] & (1ull << (rule.id & 63))) {
+            slept.push_back(rule.id);
+            continue;
+        }
+        Successor &succ =
+            out.emplace_back(Successor{&rule, state, false});
         succ.overflow = !rule.apply(succ.state, ctx);
         if (canonicalise)
             succ.state.canonicaliseTids();

@@ -17,9 +17,11 @@
 #ifndef CXL_PROTOCOL_RULES_HH
 #define CXL_PROTOCOL_RULES_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "protocol/config.hh"
@@ -34,6 +36,167 @@ struct Context {
     const Scenario *scenario;
 };
 
+// --- Static dependency footprints (partial-order reduction) ---------
+//
+// Every rule declares which *atoms* of the system state its guard and
+// action read and which its action writes.  Atoms are coarse,
+// disjoint slices of SystemState chosen so that footprint disjointness
+// implies true commutation: the transaction counter, the host
+// directory block (hval + hstate + hreq), and per device slot the
+// cacheline core (val + state + buffer + pc) and each of the six
+// message channels.  The checker derives a conservative independence
+// relation from these masks — two rules are independent iff neither
+// writes an atom the other reads or writes — which is what the
+// sleep-set partial-order reduction prunes interleavings with.
+namespace fp
+{
+
+/** Transaction-identifier counter (tid allocation). */
+constexpr std::uint32_t kCounter = 1u << 0;
+
+/** Host directory block: hval, hstate and the hreq requester byte. */
+constexpr std::uint32_t kHost = 1u << 1;
+
+/** Atoms per device slot: core plus the six channels. */
+constexpr int kAtomsPerDevice = 7;
+
+/** First atom bit of device slot @p d. */
+constexpr int
+devShift(int d)
+{
+    return 2 + d * kAtomsPerDevice;
+}
+
+/** Device cacheline core: val, state, buffer and pc. */
+constexpr std::uint32_t
+core(int d)
+{
+    return 1u << devShift(d);
+}
+constexpr std::uint32_t
+d2hReq(int d)
+{
+    return 1u << (devShift(d) + 1);
+}
+constexpr std::uint32_t
+d2hRsp(int d)
+{
+    return 1u << (devShift(d) + 2);
+}
+constexpr std::uint32_t
+d2hData(int d)
+{
+    return 1u << (devShift(d) + 3);
+}
+constexpr std::uint32_t
+h2dReq(int d)
+{
+    return 1u << (devShift(d) + 4);
+}
+constexpr std::uint32_t
+h2dRsp(int d)
+{
+    return 1u << (devShift(d) + 5);
+}
+constexpr std::uint32_t
+h2dData(int d)
+{
+    return 1u << (devShift(d) + 6);
+}
+
+/** Every atom of device slot @p d. */
+constexpr std::uint32_t
+devAll(int d)
+{
+    return ((1u << kAtomsPerDevice) - 1) << devShift(d);
+}
+
+/** Total atom count and the all-atoms mask (the conservative
+ * default: a rule without a tighter annotation conflicts with
+ * everything and is never reduced against). */
+constexpr int kNumAtoms = 2 + kMaxDevices * kAtomsPerDevice;
+constexpr std::uint32_t kAll = (1u << kNumAtoms) - 1;
+
+/** Read set of sharerView()/ownerView() for device @p d. */
+constexpr std::uint32_t
+trackView(int d)
+{
+    return core(d) | d2hReq(d) | h2dRsp(d) | h2dData(d);
+}
+
+/** Read set of goSendAllowed() for device @p d. */
+constexpr std::uint32_t
+goSend(int d)
+{
+    return h2dReq(d) | d2hRsp(d) | d2hData(d);
+}
+
+/** Read set of grantRoom() (pushGrant headroom) for device @p d. */
+constexpr std::uint32_t
+grantRoom(int d)
+{
+    return h2dRsp(d) | h2dData(d);
+}
+
+/** OR of @p atom_of(k) over every active device k != i. */
+template <typename AtomOf>
+constexpr std::uint32_t
+allOthers(int i, int ndev, AtomOf atom_of)
+{
+    std::uint32_t m = 0;
+    for (int k = 0; k < ndev; ++k) {
+        if (k != i)
+            m |= atom_of(k);
+    }
+    return m;
+}
+
+/** A rule's declared read/write atom sets. */
+struct Footprint {
+    std::uint32_t reads = kAll;
+    std::uint32_t writes = kAll;
+
+    /**
+     * The rule's only counter access is allocating a fresh tid (plus
+     * the canonicalisation-stable `counter < kCounterMax` guard).
+     * Two such rules on otherwise-disjoint footprints commute
+     * *modulo tid canonicalisation*: swapping the allocation order
+     * permutes the raw tid values, and first-appearance relabelling
+     * maps both orders to the same canonical state.  The checker may
+     * therefore ignore the counter atom between two alloc-only rules
+     * when it canonicalises tids (which every exploration does).
+     */
+    bool counterAllocOnly = false;
+
+    /** Neither rule writes an atom the other touches. */
+    friend constexpr bool
+    independent(const Footprint &a, const Footprint &b)
+    {
+        return (a.writes & (b.reads | b.writes)) == 0 &&
+               (b.writes & (a.reads | a.writes)) == 0;
+    }
+
+    /**
+     * Independence under tid canonicalisation: as independent(), but
+     * the counter conflict between two alloc-only rules is forgiven
+     * (see counterAllocOnly).
+     */
+    friend constexpr bool
+    independentCanonical(const Footprint &a, const Footprint &b)
+    {
+        if (a.counterAllocOnly && b.counterAllocOnly) {
+            const std::uint32_t drop = ~kCounter;
+            return ((a.writes & drop) &
+                    ((b.reads | b.writes) & drop)) == 0 &&
+                   ((b.writes & drop) &
+                    ((a.reads | a.writes) & drop)) == 0;
+        }
+        return independent(a, b);
+    }
+};
+
+} // namespace fp
+
 /**
  * One transition rule.  `apply` returns false iff a channel push
  * overflowed physical capacity — reachable only in mutated models and
@@ -44,6 +207,26 @@ struct Rule {
     std::string name;
     int dev = 0;          ///< primary device (0-based)
     bool mutated = false; ///< rule exists only because of a mutation
+
+    /**
+     * Static dependency footprint (see fp::Footprint).  Defaults to
+     * the all-atoms footprint, which is always sound: an unannotated
+     * rule (e.g. an addRule test hook) conflicts with every rule and
+     * is simply never reduced against.
+     */
+    fp::Footprint footprint;
+
+    /**
+     * Instantiation template identity, for mapping a rule to its
+     * image under a device permutation: `base` names the rule
+     * template (the name without device suffixes) and `args` holds
+     * the 0-based device indices it was instantiated over (device
+     * rules: (d); host pair rules: (i, o); chained snoops:
+     * (i, o, o2)).  Empty base = not permutation-mappable (custom
+     * rules), which only costs reduction, never soundness.
+     */
+    std::string base;
+    std::array<std::int8_t, 3> args{-1, -1, -1};
 
     std::function<bool(const SystemState &, const Context &)> guard;
     std::function<bool(SystemState &, const Context &)> apply;
@@ -105,6 +288,31 @@ class RuleSet
                         std::vector<Successor> &out) const;
 
     /**
+     * Partial-order-reduced successor enumeration: every guard is
+     * still evaluated (the enabled set must be exact for deadlock
+     * detection and sleep-set bookkeeping), but rules whose bit is
+     * set in @p sleep are not fired — their ids are appended to
+     * @p slept instead of producing a successor.  @p sleep points at
+     * ceil(rules()/64) little-endian words.
+     */
+    void successorsPor(const SystemState &state,
+                       const Scenario &scenario, bool canonicalise,
+                       const std::uint64_t *sleep,
+                       std::vector<Successor> &out,
+                       std::vector<std::uint16_t> &slept) const;
+
+    /**
+     * The rule implementing the same template as rule @p id after the
+     * device relabelling old index -> @p oldToNew[old].  Returns -1
+     * when the rule carries no template identity (custom rules) or
+     * the image instance does not exist.  Used by the checker to
+     * remap sleep-set masks when symmetry canonicalisation permutes
+     * device slots.
+     */
+    int permutedRuleId(std::uint16_t id,
+                       const std::uint8_t *oldToNew) const;
+
+    /**
      * Fire the named rule on @p state if enabled.
      *
      * @retval true if the rule was enabled and applied.
@@ -113,9 +321,13 @@ class RuleSet
               const Scenario &scenario) const;
 
   private:
+    /** (base, args) -> rule id, for permutedRuleId. */
+    void indexInstances();
+
     ProtocolConfig config_;
     int num_devices_;
     std::vector<Rule> rules_;
+    std::unordered_map<std::string, std::uint16_t> instances_;
 };
 
 /// Internal: populate device-side rules for device @p d (0-based).

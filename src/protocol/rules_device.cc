@@ -81,7 +81,7 @@ struct RuleBuilder {
     int d;
 
     void
-    add(const std::string &base, bool mutated,
+    add(const std::string &base, bool mutated, fp::Footprint footprint,
         std::function<bool(const SystemState &, const Context &)> guard,
         std::function<bool(SystemState &, const Context &)> apply)
     {
@@ -89,6 +89,9 @@ struct RuleBuilder {
         r.name = base + std::to_string(d + 1);
         r.dev = d;
         r.mutated = mutated;
+        r.footprint = footprint;
+        r.base = base;
+        r.args = {static_cast<std::int8_t>(d), -1, -1};
         r.guard = std::move(guard);
         r.apply = std::move(apply);
         rules.push_back(std::move(r));
@@ -101,7 +104,18 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
 {
     const int d = b.d;
 
-    b.add("InvalidLoad", false,
+    // Issue rules read/write the device core (state, pc), push onto
+    // the device's own D2H request channel and allocate a tid from
+    // the shared counter; purely local hit/retire rules touch only
+    // the core.  The counter atom is what makes issue rules by
+    // *different* devices conflict (tid allocation orders them).
+    const fp::Footprint issue_fp{
+        fp::core(d) | fp::d2hReq(d) | fp::kCounter,
+        fp::core(d) | fp::d2hReq(d) | fp::kCounter,
+        /*counterAllocOnly=*/true};
+    const fp::Footprint local_fp{fp::core(d), fp::core(d)};
+
+    b.add("InvalidLoad", false, issue_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::I &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Load) &&
@@ -113,7 +127,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return s.dev[d].d2hReq.pushBack({D2HReqOp::RdShared, t});
         });
 
-    b.add("InvalidStore", false,
+    b.add("InvalidStore", false, issue_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::I &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Store) &&
@@ -127,7 +141,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
 
     // Evicting an invalid line has no effect beyond retiring the
     // instruction (paper Section 5.1, clean_evict_test discussion).
-    b.add("InvalidEvict", false,
+    b.add("InvalidEvict", false, local_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::I && !ctx.scenario->freeRun &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Evict);
@@ -137,7 +151,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return true;
         });
 
-    b.add("SharedLoad", false,
+    b.add("SharedLoad", false, local_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::S && !ctx.scenario->freeRun &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Load);
@@ -147,7 +161,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return true;
         });
 
-    b.add("SharedStore", false,
+    b.add("SharedStore", false, issue_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::S &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Store) &&
@@ -159,7 +173,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return s.dev[d].d2hReq.pushBack({D2HReqOp::RdOwn, t});
         });
 
-    b.add("SharedEvict", false,
+    b.add("SharedEvict", false, issue_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::S &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Evict) &&
@@ -172,7 +186,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
         });
 
     if (config.cleanEvictNoData) {
-        b.add("SharedEvictNoData", false,
+        b.add("SharedEvictNoData", false, issue_fp,
             [d](const SystemState &s, const Context &ctx) {
                 return s.dev[d].state == DState::S &&
                        ctx.scenario->mayIssue(d, s.dev[d].pc,
@@ -187,7 +201,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             });
     }
 
-    b.add("ModifiedLoad", false,
+    b.add("ModifiedLoad", false, local_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::M && !ctx.scenario->freeRun &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Load);
@@ -197,7 +211,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return true;
         });
 
-    b.add("ModifiedStore", false,
+    b.add("ModifiedStore", false, local_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::M &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Store);
@@ -208,7 +222,7 @@ addProgramRules(RuleBuilder &b, const ProtocolConfig &config)
             return true;
         });
 
-    b.add("ModifiedEvict", false,
+    b.add("ModifiedEvict", false, issue_fp,
         [d](const SystemState &s, const Context &ctx) {
             return s.dev[d].state == DState::M &&
                    ctx.scenario->mayIssue(d, s.dev[d].pc, Instr::Evict) &&
@@ -239,6 +253,17 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
     const std::string prefix = toString(awaiting);
     const DState go_target = final_state;
 
+    // Consumption rules are what partial-order reduction thrives on:
+    // each touches only its own device's core plus the channel(s) it
+    // pops, so consumptions by distinct devices always commute.
+    const fp::Footprint go_fp{fp::core(d) | fp::h2dRsp(d),
+                              fp::core(d) | fp::h2dRsp(d)};
+    const fp::Footprint data_fp{fp::core(d) | fp::h2dData(d),
+                                fp::core(d) | fp::h2dData(d)};
+    const fp::Footprint go_data_fp{
+        fp::core(d) | fp::h2dRsp(d) | fp::h2dData(d),
+        fp::core(d) | fp::h2dRsp(d) | fp::h2dData(d)};
+
     auto finish = [d, final_state, is_store](SystemState &s,
                                              const Context &ctx) {
         s.dev[d].state = final_state;
@@ -247,7 +272,7 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
         completeInstr(s, d, ctx);
     };
 
-    b.add(prefix + "_GO", false,
+    b.add(prefix + "_GO", false, go_fp,
         [d, awaiting, go_target](const SystemState &s, const Context &) {
             return s.dev[d].state == awaiting &&
                    headIsGo(s.dev[d], go_target);
@@ -258,7 +283,7 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
             return true;
         });
 
-    b.add(prefix + "_Data", false,
+    b.add(prefix + "_Data", false, data_fp,
         [d, awaiting](const SystemState &s, const Context &) {
             return s.dev[d].state == awaiting && !s.dev[d].h2dData.empty();
         },
@@ -269,7 +294,7 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
             return true;
         });
 
-    b.add(prefix + "_GO_Data", false,
+    b.add(prefix + "_GO_Data", false, go_data_fp,
         [d, awaiting, go_target](const SystemState &s, const Context &) {
             return s.dev[d].state == awaiting &&
                    headIsGo(s.dev[d], go_target) &&
@@ -283,7 +308,7 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
             return true;
         });
 
-    b.add(toString(go_taken) + "_Data", false,
+    b.add(toString(go_taken) + "_Data", false, data_fp,
         [d, go_taken](const SystemState &s, const Context &) {
             return s.dev[d].state == go_taken && !s.dev[d].h2dData.empty();
         },
@@ -294,7 +319,7 @@ addGrantConsumptionRules(RuleBuilder &b, DState awaiting, DState go_taken,
             return true;
         });
 
-    b.add(toString(data_taken) + "_GO", false,
+    b.add(toString(data_taken) + "_GO", false, go_fp,
         [d, data_taken, go_target](const SystemState &s, const Context &) {
             return s.dev[d].state == data_taken &&
                    headIsGo(s.dev[d], go_target);
@@ -312,9 +337,19 @@ addEvictionCompletionRules(RuleBuilder &b)
 {
     const int d = b.d;
 
+    // Pulls consume the GO and emit writeback data; drops consume the
+    // GO only.  All device-local: core + the channels named.
+    const fp::Footprint pull_fp{
+        fp::core(d) | fp::h2dRsp(d) | fp::d2hData(d),
+        fp::core(d) | fp::h2dRsp(d) | fp::d2hData(d)};
+    const fp::Footprint drop_fp{fp::core(d) | fp::h2dRsp(d),
+                                fp::core(d) | fp::h2dRsp(d)};
+    const fp::Footprint h2ddata_fp{fp::core(d) | fp::h2dData(d),
+                                   fp::core(d) | fp::h2dData(d)};
+
     // Dirty eviction: the pull triggers the implicit writeback
     // (Table 2's MIA_GO_WritePull step).
-    b.add("MIA_GO_WritePull", false,
+    b.add("MIA_GO_WritePull", false, pull_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::MIA &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePull) &&
@@ -331,7 +366,7 @@ addEvictionCompletionRules(RuleBuilder &b)
 
     // Clean eviction completes with a drop (Table 1's
     // SIA_GO_WritePullDrop step).
-    b.add("SIA_GO_WritePullDrop", false,
+    b.add("SIA_GO_WritePullDrop", false, drop_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::SIA &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePullDrop);
@@ -344,7 +379,7 @@ addEvictionCompletionRules(RuleBuilder &b)
         });
 
     // The host may pull the clean line instead.
-    b.add("SIA_GO_WritePull", false,
+    b.add("SIA_GO_WritePull", false, pull_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::SIA &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePull) &&
@@ -360,7 +395,7 @@ addEvictionCompletionRules(RuleBuilder &b)
         });
 
     // CleanEvictNoData promised no data, so only a drop is legal.
-    b.add("SIAC_GO_WritePullDrop", false,
+    b.add("SIAC_GO_WritePullDrop", false, drop_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::SIAC &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePullDrop);
@@ -374,7 +409,7 @@ addEvictionCompletionRules(RuleBuilder &b)
 
     // A snoop hit the writeback: any data the device still sends for
     // the eviction must carry the Bogus flag (CXL 3.1 Section 3.2.5.4).
-    b.add("IIA_GO_WritePull", false,
+    b.add("IIA_GO_WritePull", false, pull_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::IIA &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePull) &&
@@ -391,7 +426,7 @@ addEvictionCompletionRules(RuleBuilder &b)
 
     // Section 4.4 proposed fix: the host may drop instead, saving the
     // bogus data transfer entirely.
-    b.add("IIA_GO_WritePullDrop", false,
+    b.add("IIA_GO_WritePullDrop", false, drop_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::IIA &&
                    headIsRsp(s.dev[d], H2DRspOp::GO_WritePullDrop);
@@ -404,7 +439,7 @@ addEvictionCompletionRules(RuleBuilder &b)
         });
 
     // Read-once completion after an ISD-state snoop invalidation.
-    b.add("ISDI_Data", false,
+    b.add("ISDI_Data", false, h2ddata_fp,
         [d](const SystemState &s, const Context &) {
             return s.dev[d].state == DState::ISDI &&
                    !s.dev[d].h2dData.empty();
@@ -433,7 +468,18 @@ addSnoopRules(RuleBuilder &b, const ProtocolConfig &config)
     auto add_snoop = [&](const char *base, DState from, H2DReqOp op,
                          DState to, D2HRspOp rsp, bool fwd_data,
                          bool relaxed) {
-        b.add(base, false,
+        // Guard reads the snoop channel, the response channel
+        // (snoopAllowed) and the d2hRsp/d2hData headroom; the action
+        // pops the snoop, moves the core and pushes the response
+        // (plus forwarded data).  h2dRsp is read-only.
+        fp::Footprint snoop_fp{fp::core(d) | fp::h2dReq(d) |
+                                   fp::h2dRsp(d) | fp::d2hRsp(d) |
+                                   fp::d2hData(d),
+                               fp::core(d) | fp::h2dReq(d) |
+                                   fp::d2hRsp(d)};
+        if (fwd_data)
+            snoop_fp.writes |= fp::d2hData(d);
+        b.add(base, false, snoop_fp,
             [d, from, op, relaxed](const SystemState &s, const Context &) {
                 return s.dev[d].state == from &&
                        headIsSnoop(s.dev[d], op) &&
@@ -481,7 +527,10 @@ addSnoopRules(RuleBuilder &b, const ProtocolConfig &config)
         // RspIHitI while *remaining in ISAD*, so it will later accept
         // the stale grant.
         auto add_broken = [&](const char *base, DState from) {
-            b.add(base, true,
+            const fp::Footprint broken_fp{
+                fp::core(d) | fp::h2dReq(d) | fp::d2hRsp(d),
+                fp::core(d) | fp::h2dReq(d) | fp::d2hRsp(d)};
+            b.add(base, true, broken_fp,
                 [d, from](const SystemState &s, const Context &) {
                     return s.dev[d].state == from &&
                            headIsSnoop(s.dev[d], H2DReqOp::SnpInv) &&

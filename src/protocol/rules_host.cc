@@ -82,7 +82,9 @@ struct HostRuleBuilder {
 
     /** Single construction site for every host rule. */
     void
-    addNamed(std::string name, bool mutated,
+    addNamed(std::string name, const std::string &base,
+             std::array<std::int8_t, 3> args, bool mutated,
+             fp::Footprint footprint,
              std::function<bool(const SystemState &, const Context &)>
                  guard,
              std::function<bool(SystemState &, const Context &)> apply)
@@ -91,18 +93,22 @@ struct HostRuleBuilder {
         r.name = std::move(name);
         r.dev = i;
         r.mutated = mutated;
+        r.footprint = footprint;
+        r.base = base;
+        r.args = args;
         r.guard = std::move(guard);
         r.apply = std::move(apply);
         rules.push_back(std::move(r));
     }
 
     void
-    add(const std::string &base, bool mutated,
+    add(const std::string &base, bool mutated, fp::Footprint footprint,
         std::function<bool(const SystemState &, const Context &)> guard,
         std::function<bool(SystemState &, const Context &)> apply)
     {
-        addNamed(base + std::to_string(i + 1), mutated,
-                 std::move(guard), std::move(apply));
+        addNamed(base + std::to_string(i + 1), base,
+                 {static_cast<std::int8_t>(i), -1, -1}, mutated,
+                 footprint, std::move(guard), std::move(apply));
     }
 
     /**
@@ -112,6 +118,7 @@ struct HostRuleBuilder {
      */
     void
     addPair(const std::string &base, int o, bool mutated,
+            fp::Footprint footprint,
             std::function<bool(const SystemState &, const Context &)>
                 guard,
             std::function<bool(SystemState &, const Context &)> apply)
@@ -119,7 +126,10 @@ struct HostRuleBuilder {
         std::string name = base + std::to_string(i + 1);
         if (numDevices > 2)
             name += "_s" + std::to_string(o + 1);
-        addNamed(std::move(name), mutated, std::move(guard),
+        addNamed(std::move(name), base,
+                 {static_cast<std::int8_t>(i),
+                  static_cast<std::int8_t>(o), -1},
+                 mutated, footprint, std::move(guard),
                  std::move(apply));
     }
 
@@ -130,6 +140,7 @@ struct HostRuleBuilder {
      */
     void
     addChained(const std::string &base, int o, int o2, bool mutated,
+               fp::Footprint footprint,
                std::function<bool(const SystemState &, const Context &)>
                    guard,
                std::function<bool(SystemState &, const Context &)>
@@ -138,7 +149,12 @@ struct HostRuleBuilder {
         addNamed(base + std::to_string(i + 1) + "_s" +
                      std::to_string(o + 1) + "_n" +
                      std::to_string(o2 + 1),
-                 mutated, std::move(guard), std::move(apply));
+                 base,
+                 {static_cast<std::int8_t>(i),
+                  static_cast<std::int8_t>(o),
+                  static_cast<std::int8_t>(o2)},
+                 mutated, footprint, std::move(guard),
+                 std::move(apply));
     }
 
     /** Snoop targets: every active device other than the requester. */
@@ -174,14 +190,28 @@ void
 addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
 {
     const int i = b.i;
+    const int nd = b.numDevices;
     const bool relax_tailgate = config.relaxGoTailgate;
 
     auto go_ok = [relax_tailgate](const SystemState &s, int dev) {
         return relax_tailgate || goSendAllowed(s, dev);
     };
 
+    // Shared footprint pieces (see fp::).  go_ok is declared as a
+    // read even when the tailgate mutation ignores it — extra reads
+    // only cost reduction, never soundness.  A direct grant to
+    // requester i reads the directory, the request head, the GO gate
+    // and the grant headroom, and writes the directory, the request
+    // channel and the grant channels.
+    const std::uint32_t grant_reads = fp::kHost | fp::d2hReq(i) |
+                                      fp::goSend(i) | fp::grantRoom(i);
+    const std::uint32_t grant_writes = fp::kHost | fp::d2hReq(i) |
+                                       fp::h2dRsp(i) | fp::h2dData(i);
+    const std::uint32_t others_sharer =
+        fp::allOthers(i, nd, fp::trackView);
+
     // Nobody holds the line: grant S directly from memory.
-    b.add("HostInvalidRdShared", false,
+    b.add("HostInvalidRdShared", false, {grant_reads, grant_writes},
         [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::I &&
                    headReqIs(s.dev[i], D2HReqOp::RdShared) &&
@@ -196,6 +226,8 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
     // Sharers already exist: grant another S copy.
     b.add("HostSharedRdShared", false,
+        {grant_reads,
+         fp::d2hReq(i) | fp::h2dRsp(i) | fp::h2dData(i)},
         [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::S &&
                    headReqIs(s.dev[i], D2HReqOp::RdShared) &&
@@ -210,6 +242,9 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // Some other device owns the line: snoop it down to S first.
     for (int o : b.others()) {
         b.addPair("HostModifiedRdShared", o, false,
+            {fp::kHost | fp::d2hReq(i) | fp::trackView(o) |
+                 fp::h2dReq(o),
+             fp::kHost | fp::d2hReq(i) | fp::h2dReq(o)},
             [i, o](const SystemState &s, const Context &) {
                 return s.hstate == HState::M &&
                        headReqIs(s.dev[i], D2HReqOp::RdShared) &&
@@ -224,6 +259,8 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.addPair("HostSAD_RspSFwdM", o, false,
+            {fp::kHost | fp::d2hRsp(o),
+             fp::kHost | fp::d2hRsp(o)},
             [i, o](const SystemState &s, const Context &) {
                 return s.hstate == HState::SAD && s.hreq == asReq(i) &&
                        headRspIs(s.dev[o], D2HRspOp::RspSFwdM);
@@ -237,6 +274,10 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
         // Forwarded dirty data arrives; memory is updated and the
         // original requester is granted S.
         b.addPair("HostSD_Data", o, false,
+            {fp::kHost | fp::d2hData(o) | fp::goSend(i) |
+                 fp::grantRoom(i),
+             fp::kHost | fp::d2hData(o) | fp::h2dRsp(i) |
+                 fp::h2dData(i)},
             [i, o, go_ok](const SystemState &s, const Context &) {
                 return s.hstate == HState::SD && s.hreq == asReq(i) &&
                        headDataClean(s.dev[o]) && go_ok(s, i) &&
@@ -253,7 +294,7 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     }
 
     // Nobody holds the line: grant ownership directly.
-    b.add("HostInvalidRdOwn", false,
+    b.add("HostInvalidRdOwn", false, {grant_reads, grant_writes},
         [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::I &&
                    headReqIs(s.dev[i], D2HReqOp::RdOwn) && go_ok(s, i) &&
@@ -270,6 +311,7 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // needed — the shortcut discussed in paper Section 8, with "the
     // other device is no sharer" generalised to all peers.
     b.add("HostSharedRdOwnUpgrade", false,
+        {grant_reads | others_sharer, grant_writes},
         [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::S &&
                    headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
@@ -288,6 +330,10 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // follows once every sharer's snoop response has arrived.
     for (int o : b.others()) {
         b.addPair("HostSharedRdOwnSnp", o, false,
+            {fp::kHost | fp::d2hReq(i) | fp::trackView(o) |
+                 fp::h2dReq(o) | fp::h2dData(i),
+             fp::kHost | fp::d2hReq(i) | fp::h2dReq(o) |
+                 fp::h2dData(i)},
             [i, o](const SystemState &s, const Context &) {
                 return s.hstate == HState::S &&
                        headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
@@ -315,7 +361,19 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     auto add_ma_ack = [&](const std::string &base, D2HRspOp rsp,
                           bool mutated) {
         for (int o : b.others()) {
+            // The completing acknowledgement quantifies over every
+            // peer: anyThirdSharer tracks all k != i, o and
+            // otherGrantDataDrained reads h2dData of all k != i.
+            const std::uint32_t third_sharer = fp::allOthers(
+                i, nd, [o](int k) {
+                    return k == o ? 0u : fp::trackView(k);
+                });
+            const std::uint32_t peer_grant_data =
+                fp::allOthers(i, nd, fp::h2dData);
             b.addPair(base, o, mutated,
+                {fp::kHost | fp::d2hRsp(o) | third_sharer |
+                     peer_grant_data | fp::goSend(i) | fp::h2dRsp(i),
+                 fp::kHost | fp::d2hRsp(o) | fp::h2dRsp(i)},
                 [i, o, rsp, go_ok](const SystemState &s,
                                    const Context &) {
                     return s.hstate == HState::MA &&
@@ -342,6 +400,9 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
                 if (o2 == i || o2 == o)
                     continue;
                 b.addChained(base, o, o2, mutated,
+                    {fp::kHost | fp::d2hRsp(o) | fp::trackView(o2) |
+                         fp::h2dReq(o2),
+                     fp::d2hRsp(o) | fp::h2dReq(o2)},
                     [i, o, o2, rsp](const SystemState &s,
                                     const Context &) {
                         return s.hstate == HState::MA &&
@@ -366,6 +427,9 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // Some other device owns the line dirty: invalidate and collect.
     for (int o : b.others()) {
         b.addPair("HostModifiedRdOwn", o, false,
+            {fp::kHost | fp::d2hReq(i) | fp::trackView(o) |
+                 fp::h2dReq(o),
+             fp::kHost | fp::d2hReq(i) | fp::h2dReq(o)},
             [i, o](const SystemState &s, const Context &) {
                 return s.hstate == HState::M &&
                        headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
@@ -380,6 +444,8 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.addPair("HostMAD_RspIFwdM", o, false,
+            {fp::kHost | fp::d2hRsp(o),
+             fp::kHost | fp::d2hRsp(o)},
             [i, o](const SystemState &s, const Context &) {
                 return s.hstate == HState::MAD && s.hreq == asReq(i) &&
                        headRspIs(s.dev[o], D2HRspOp::RspIFwdM);
@@ -391,6 +457,10 @@ addReadRequestRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.addPair("HostMD_Data", o, false,
+            {fp::kHost | fp::d2hData(o) | fp::goSend(i) |
+                 fp::grantRoom(i),
+             fp::kHost | fp::d2hData(o) | fp::h2dRsp(i) |
+                 fp::h2dData(i)},
             [i, o, go_ok](const SystemState &s, const Context &) {
                 return s.hstate == HState::MD && s.hreq == asReq(i) &&
                        headDataClean(s.dev[o]) && go_ok(s, i) &&
@@ -412,6 +482,7 @@ void
 addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 {
     const int i = b.i;
+    const int nd = b.numDevices;
     const bool relax_tailgate = config.relaxGoTailgate;
     const bool stale_drop = config.staleEvictDrop;
 
@@ -423,8 +494,20 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
         return s.dev[dev].h2dRsp.pushBack({op, DState::I, t});
     };
 
+    // Eviction processing reads the request head, the evicting
+    // device's core (its cacheline state gates the flavour) and the
+    // GO gate, and answers on h2dRsp; the apply also clears the
+    // device buffer (core).
+    const std::uint32_t evict_reads = fp::d2hReq(i) | fp::core(i) |
+                                      fp::goSend(i) | fp::h2dRsp(i);
+    const std::uint32_t evict_writes =
+        fp::d2hReq(i) | fp::core(i) | fp::h2dRsp(i);
+    const std::uint32_t others_sharer =
+        fp::allOthers(i, nd, fp::trackView);
+
     // Paper Fig. 4's HostModifiedDirtyEvict1: pull the dirty line.
     b.add("HostModifiedDirtyEvict", false,
+        {fp::kHost | evict_reads, fp::kHost | evict_writes},
         [i, go_ok](const SystemState &s, const Context &) {
             return s.hstate == HState::M &&
                    headReqIs(s.dev[i], D2HReqOp::DirtyEvict) &&
@@ -443,6 +526,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
     // Writeback data lands: memory updated, line dead (Table 2's
     // IDData1 step).
     b.add("HostID_Data", false,
+        {fp::kHost | fp::d2hData(i), fp::kHost | fp::d2hData(i)},
         [i](const SystemState &s, const Context &) {
             return s.hstate == HState::ID && s.hreq == asReq(i) &&
                    headDataClean(s.dev[i]);
@@ -457,6 +541,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
     // Clean-evict data pull completes; host remains a sharer.
     b.add("HostSB_Data", false,
+        {fp::kHost | fp::d2hData(i), fp::kHost | fp::d2hData(i)},
         [i](const SystemState &s, const Context &) {
             return s.hstate == HState::SB && s.hreq == asReq(i) &&
                    headDataClean(s.dev[i]);
@@ -502,6 +587,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
         };
 
         b.add(std::string(f.base) + "NotLastDrop", false,
+            {fp::kHost | evict_reads | others_sharer, evict_writes},
             [i, guard_common](const SystemState &s, const Context &) {
                 return guard_common(s) && anyOtherSharer(s, i);
             },
@@ -513,6 +599,8 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.add(std::string(f.base) + "LastDrop", false,
+            {fp::kHost | evict_reads | others_sharer,
+             fp::kHost | evict_writes},
             [i, guard_common](const SystemState &s, const Context &) {
                 return guard_common(s) && !anyOtherSharer(s, i);
             },
@@ -528,6 +616,8 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             continue;
 
         b.add(std::string(f.base) + "NotLastPull", false,
+            {fp::kHost | evict_reads | others_sharer,
+             fp::kHost | evict_writes},
             [i, guard_common](const SystemState &s, const Context &) {
                 return guard_common(s) && anyOtherSharer(s, i);
             },
@@ -541,6 +631,8 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
             });
 
         b.add(std::string(f.base) + "LastPull", false,
+            {fp::kHost | evict_reads | others_sharer,
+             fp::kHost | evict_writes},
             [i, guard_common](const SystemState &s, const Context &) {
                 return guard_common(s) && !anyOtherSharer(s, i);
             },
@@ -568,6 +660,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
         if (drop_legal) {
             b.add(std::string(base) + "Drop", false,
+                {evict_reads, evict_writes},
                 [i, req, go_ok](const SystemState &s, const Context &) {
                     return headReqIs(s.dev[i], req) &&
                            s.dev[i].state == DState::IIA && go_ok(s, i) &&
@@ -583,6 +676,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
         if (pull_legal) {
             b.add(std::string(base) + "Pull", false,
+                {evict_reads, evict_writes},
                 [i, req, go_ok](const SystemState &s, const Context &) {
                     return headReqIs(s.dev[i], req) &&
                            s.dev[i].state == DState::IIA && go_ok(s, i) &&
@@ -602,6 +696,7 @@ addEvictionRules(HostRuleBuilder &b, const ProtocolConfig &config)
 
     // Bogus-flagged eviction data is discarded (CXL 3.1 S3.2.5.4).
     b.add("HostBogusData", false,
+        {fp::d2hData(i), fp::d2hData(i)},
         [i](const SystemState &s, const Context &) {
             return !s.dev[i].d2hData.empty() &&
                    s.dev[i].d2hData.front().bogus;
@@ -623,6 +718,10 @@ addMutatedHostRules(HostRuleBuilder &b, const ProtocolConfig &config)
         // step, before any response is collected.
         for (int o : b.others()) {
             b.addPair("HostEagerGoRdOwn", o, true,
+                {fp::kHost | fp::d2hReq(i) | fp::trackView(o) |
+                     fp::h2dReq(o) | fp::grantRoom(i),
+                 fp::kHost | fp::d2hReq(i) | fp::h2dReq(o) |
+                     fp::h2dRsp(i) | fp::h2dData(i)},
                 [i, o](const SystemState &s, const Context &) {
                     return s.hstate == HState::S &&
                            headReqIs(s.dev[i], D2HReqOp::RdOwn) &&
@@ -645,6 +744,8 @@ addMutatedHostRules(HostRuleBuilder &b, const ProtocolConfig &config)
         // first is collected (violates CXL 3.1 Section 3.2.5.5).
         for (int o : b.others()) {
             b.addPair("HostSecondSnoop", o, true,
+                {fp::kHost | fp::h2dReq(o) | fp::kCounter,
+                 fp::kCounter | fp::h2dReq(o)},
                 [i, o](const SystemState &s, const Context &) {
                     return (s.hstate == HState::MA ||
                             s.hstate == HState::MAD) &&

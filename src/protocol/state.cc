@@ -145,10 +145,14 @@ SystemState::swappedDevices() const
 }
 
 SystemState
-SystemState::deviceCanonical(bool canon_tids,
-                             bool input_tid_canonical) const
+SystemState::deviceCanonical(bool canon_tids, bool input_tid_canonical,
+                             std::uint8_t *winning_perm) const
 {
     std::uint8_t perm[kMaxDevices] = {0, 1, 2, 3};
+    if (winning_perm) {
+        for (int n = 0; n < ndev; ++n)
+            winning_perm[n] = perm[n];
+    }
 
     // The identity candidate gets the same tid treatment as every
     // other image so that permuted copies of one state always land on
@@ -206,8 +210,13 @@ SystemState::deviceCanonical(bool canon_tids,
                 decided_less = cmp < 0;
             }
         }
-        if (!losing && decided_less)
+        if (!losing && decided_less) {
             best = cand;
+            if (winning_perm) {
+                for (int n = 0; n < ndev; ++n)
+                    winning_perm[n] = perm[n];
+            }
+        }
     }
     return best;
 }

@@ -203,9 +203,17 @@ struct SystemState {
      *        tids are already canonical, so the identity image needs
      *        no rescan (the explorer canonicalises every successor
      *        before reducing; arbitrary test inputs must pass false).
+     * @param winning_perm if non-null, receives the first permutation
+     *        (in next_permutation enumeration order; new index -> old
+     *        index, ndev entries) whose image is the returned
+     *        representative — the identity when the input already is.
+     *        Deterministic, so the partial-order reduction can remap
+     *        its rule masks through the same relabelling on every
+     *        thread.
      */
-    SystemState deviceCanonical(bool canon_tids,
-                                bool input_tid_canonical = false) const;
+    SystemState
+    deviceCanonical(bool canon_tids, bool input_tid_canonical = false,
+                    std::uint8_t *winning_perm = nullptr) const;
 
     /** Bytewise lexicographic order (total; used by symmetry reduction). */
     bool bytewiseLess(const SystemState &other) const;

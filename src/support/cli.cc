@@ -1,5 +1,6 @@
 #include "support/cli.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -47,7 +48,21 @@ CliArgs::getInt(const std::string &name, std::int64_t fallback) const
     auto it = options_.find(name);
     if (it == options_.end())
         return fallback;
-    return std::strtoll(it->second.c_str(), nullptr, 10);
+    // strtoll with a discarded end pointer silently turns garbage
+    // into 0 ("--devices foo" ran the 0-device model); reject
+    // non-numeric, trailing-junk and out-of-range values with a
+    // diagnostic that names the offending flag.
+    const char *text = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "--%s '%s' is not a valid integer\n",
+                     name.c_str(), text);
+        std::exit(2);
+    }
+    return value;
 }
 
 std::size_t

@@ -89,10 +89,17 @@ class JsonObject
               case '\\': out += "\\\\"; break;
               case '\n': out += "\\n"; break;
               case '\t': out += "\\t"; break;
+              case '\r': out += "\\r"; break;
+              case '\b': out += "\\b"; break;
+              case '\f': out += "\\f"; break;
               default:
                 if (static_cast<unsigned char>(c) < 0x20) {
+                    // The cast matters: a plain (signed) char sails
+                    // through %x as a sign-extended int for bytes
+                    // >= 0x80, and is UB-adjacent for the escape.
                     char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned char>(c));
                     out += buf;
                 } else {
                     out += c;

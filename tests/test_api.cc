@@ -203,8 +203,10 @@ TEST(CheckResult, JsonSchemaKeysArePresentInOrder)
     const char *const keys[] = {
         "\"schema\": \"cxl-check-result/v1\"",
         "\"scenario\"", "\"devices\"", "\"threads\"",
-        "\"symmetry_reduction\"", "\"compact\"", "\"max_states\"",
+        "\"symmetry_reduction\"", "\"compact\"", "\"por\"",
+        "\"max_states\"",
         "\"rules\"", "\"conjuncts\"", "\"states\"", "\"transitions\"",
+        "\"slept_transitions\"",
         "\"diameter\"", "\"completed\"", "\"seconds\"",
         "\"states_per_sec\"", "\"verdict\"", "\"violation_kind\"",
         "\"violated_conjunct\"", "\"violated_family\"",
@@ -239,6 +241,41 @@ TEST(CheckResult, JsonReportsViolationsStructurally)
               std::string::npos);
     EXPECT_NE(json.find("\"violated_family\": \"channel_singleton\""),
               std::string::npos);
+}
+
+TEST(CheckResult, CappedRunRendersThreadDependentQualifier)
+{
+    // A run stopped by --max-states ends at a thread-dependent point
+    // (the soft cap can overshoot by up to one state per worker), so
+    // the rendered report must say the counts are not exact instead
+    // of presenting them as run properties.
+    CheckSession session;
+    CheckRequest req;
+    req.scenario = "free-run";
+    EngineOptions eng;
+    eng.maxStates = 500;
+    eng.threads = 4;
+    req.engine = eng;
+    const CheckResult res = session.run(req);
+    ASSERT_EQ(res.verdict, CheckResult::Verdict::Incomplete);
+    const std::string text = res.renderText(false);
+    EXPECT_NE(text.find("counts are thread-dependent"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("one state per worker"), std::string::npos);
+
+    // A single-threaded capped run stops at an exact, reproducible
+    // point, so it carries no qualifier; neither does an uncapped
+    // run.
+    eng.threads = 1;
+    req.engine = eng;
+    const std::string single = session.run(req).renderText(false);
+    EXPECT_EQ(single.find("thread-dependent"), std::string::npos)
+        << single;
+    req.engine = std::nullopt;
+    const std::string clean = session.run(req).renderText(false);
+    EXPECT_EQ(clean.find("thread-dependent"), std::string::npos)
+        << clean;
 }
 
 TEST(CheckResult, VerdictTextIsDeterministic)

@@ -11,6 +11,7 @@
 
 #include "support/cli.hh"
 #include "support/hash.hh"
+#include "support/json.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
 
@@ -97,6 +98,43 @@ TEST(CliArgs, ParsesFlagsAndValues)
     ASSERT_EQ(args.positional().size(), 1u);
     EXPECT_EQ(args.positional()[0], "positional");
     EXPECT_EQ(args.getInt("absent", 42), 42);
+}
+
+TEST(CliArgs, RejectsNonNumericIntValues)
+{
+    // strtoll with a discarded end pointer used to turn "--devices
+    // foo" into 0 silently; the parser must now exit(2) naming the
+    // flag for garbage, trailing junk and out-of-range values.
+    auto parse = [](const char *value) {
+        const char *argv[] = {"prog", "--devices", value};
+        CliArgs args(3, argv);
+        return args.getInt("devices", 0);
+    };
+    EXPECT_EXIT(parse("foo"), testing::ExitedWithCode(2),
+                "--devices 'foo' is not a valid integer");
+    EXPECT_EXIT(parse("12abc"), testing::ExitedWithCode(2),
+                "--devices '12abc' is not a valid integer");
+    EXPECT_EXIT(parse("99999999999999999999999"),
+                testing::ExitedWithCode(2),
+                "is not a valid integer");
+    EXPECT_EQ(parse("3"), 3);
+    EXPECT_EQ(parse("-7"), -7);
+}
+
+TEST(JsonQuote, EscapesControlAndShortEscapeCharacters)
+{
+    EXPECT_EQ(JsonObject::quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(JsonObject::quote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(JsonObject::quote("a\nb\tc"), "\"a\\nb\\tc\"");
+    // The short escapes added for \r, \b and \f.
+    EXPECT_EQ(JsonObject::quote("a\rb\bc\fd"), "\"a\\rb\\bc\\fd\"");
+    // Other control characters take the \u form, emitted through an
+    // unsigned char so the value can never sign-extend.
+    EXPECT_EQ(JsonObject::quote(std::string(1, '\x01')), "\"\\u0001\"");
+    EXPECT_EQ(JsonObject::quote(std::string(1, '\x1f')), "\"\\u001f\"");
+    // High-bit bytes (negative as signed char) pass through verbatim.
+    EXPECT_EQ(JsonObject::quote(std::string(1, '\x80')),
+              std::string("\"") + '\x80' + '"');
 }
 
 TEST(ThreadPool, ExecutesAllJobs)
