@@ -13,8 +13,11 @@
  *                                    goldens diff against
  *
  * Standard flags: --devices N, --threads N, --sym/--no-sym,
- * --compact, --por/--no-por, --max-states N, --expect-states N,
- * --json [PATH].
+ * --compact, --por/--no-por, --ws/--bfs, --max-states N,
+ * --expect-states N, --json [PATH].  `--ws` selects the
+ * work-stealing schedule: verdict lines are unchanged (states,
+ * diameters and verdicts are schedule-invariant); transition counts
+ * are not.
  *
  * Exit status: 0 when every run matches its scenario's expectation
  * (holds, or reaches the expected violation family), 1 on a

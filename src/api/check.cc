@@ -113,10 +113,12 @@ CheckResult::renderText(bool withTrace) const
     out += line;
     std::snprintf(line, sizeof(line),
                   "engine: %zu thread(s), symmetry %s, %s store, "
-                  "por %s\n",
+                  "por %s, %s schedule\n",
                   threads, symmetryReduction ? "on" : "off",
                   compaction ? "hash-compacted" : "full",
-                  por ? "on" : "off");
+                  por ? "on" : "off",
+                  schedule == Schedule::WorkSteal ? "work-stealing"
+                                                  : "bfs");
     out += line;
     std::snprintf(
         line, sizeof(line),
@@ -171,7 +173,9 @@ CheckResult::renderText(bool withTrace) const
     if (violation && !violation->traceNote.empty())
         out += "(" + violation->traceNote + ")\n";
     if (withTrace && violation && violation->trace.size() > 1) {
-        out += "\nwitness trace (shortest, by BFS):\n";
+        out += schedule == Schedule::WorkSteal
+                   ? "\nwitness trace (shortest known):\n"
+                   : "\nwitness trace (shortest, by BFS):\n";
         out += renderTraceTable(violation->trace, scenarioSpec,
                                 defaultTraceColumns(devices));
         out += "\nbad state:\n" +
@@ -191,6 +195,8 @@ CheckResult::renderJson() const
         .boolean("symmetry_reduction", symmetryReduction)
         .boolean("compact", compaction)
         .boolean("por", por)
+        .str("schedule",
+             schedule == Schedule::WorkSteal ? "ws" : "bfs")
         .num("max_states", maxStates)
         .num("rules", static_cast<std::uint64_t>(numRules))
         .num("conjuncts", static_cast<std::uint64_t>(numConjuncts))
@@ -360,6 +366,7 @@ CheckSession::run(const CheckRequest &request)
     opt.expectedStates = engine.expectedStates;
     opt.compaction = engine.store == StoreKind::Compact;
     opt.por = engine.por;
+    opt.schedule = engine.schedule;
     opt.symmetryReduction =
         engine.symmetry == SymmetryMode::On ||
         (engine.symmetry == SymmetryMode::Auto &&
@@ -382,6 +389,7 @@ CheckSession::run(const CheckRequest &request)
     out.symmetryReduction = opt.symmetryReduction;
     out.compaction = opt.compaction;
     out.por = opt.por;
+    out.schedule = opt.schedule;
     out.maxStates = opt.maxStates;
     out.states = res.numStates;
     out.transitions = res.numTransitions;

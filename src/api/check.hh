@@ -76,6 +76,16 @@ struct EngineOptions {
     StoreKind store = StoreKind::Full;
 
     /**
+     * Exploration schedule (`--ws` / `--bfs`): Schedule::Bfs is the
+     * depth-synchronized baseline; Schedule::WorkSteal replaces the
+     * depth barrier with per-worker work-stealing deques.  Verdicts,
+     * state counts and diameters are identical either way (and across
+     * thread counts); transition/slept counts are schedule-dependent
+     * under WorkSteal.
+     */
+    Schedule schedule = Schedule::Bfs;
+
+    /**
      * Partial-order reduction (sleep sets over static rule
      * footprints; `--por`).  Off by default.  Prunes commuting
      * interleavings: every reachable state is still visited at its
@@ -168,6 +178,7 @@ struct CheckResult {
     bool symmetryReduction = false;
     bool compaction = false;
     bool por = false;
+    Schedule schedule = Schedule::Bfs;
     std::uint64_t maxStates = 0;
 
     // ---- measurements ------------------------------------------------

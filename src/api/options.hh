@@ -3,7 +3,8 @@
  * Shared command-line surface of the bench/example front-ends: one
  * helper resolves the flags every binary used to re-plumb by hand —
  * `--devices`, `--threads`, `--sym`/`--no-sym`, `--compact`,
- * `--por`/`--no-por`, `--max-states`, `--expect-states`, `--json` —
+ * `--por`/`--no-por`, `--ws`/`--bfs`, `--max-states`,
+ * `--expect-states`, `--json` —
  * into a device count plus the EngineOptions a CheckSession is
  * constructed with.
  */

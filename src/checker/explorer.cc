@@ -156,7 +156,11 @@ Explorer::rebuildTrace(const StateStore &store, std::uint32_t idx) const
     std::uint32_t cur = idx;
     while (cur != StateStore::kNoParent) {
         TraceStep step;
-        step.state = store.stateAt(cur);
+        // stateInto works in both store modes; compact-mode callers
+        // are responsible for only rebuilding retained entries (BFS
+        // never calls this under compaction, the work-stealing
+        // schedule retains everything).
+        store.stateInto(cur, step.state);
         const std::uint32_t parent = store.parentAt(cur);
         if (parent != StateStore::kNoParent)
             step.ruleName = rules_.rules()[store.ruleAt(cur)].name;
@@ -169,6 +173,14 @@ Explorer::rebuildTrace(const StateStore &store, std::uint32_t idx) const
 
 ExploreResult
 Explorer::run(const ExploreOptions &options)
+{
+    return options.schedule == Schedule::WorkSteal
+               ? runWorkSteal(options)
+               : runBfs(options);
+}
+
+ExploreResult
+Explorer::runBfs(const ExploreOptions &options)
 {
     auto start = std::chrono::steady_clock::now();
     auto finish = [&start](ExploreResult &r) -> ExploreResult & {

@@ -10,11 +10,20 @@
  * full rule-labelled trace from the initial state — the counterpart of
  * the paper's message-sequence-chart counterexamples (Fig. 5).
  *
- * Exploration is depth-synchronized and parallel: each BFS level is
- * expanded by a worker pool over the sharded StateStore, with
- * per-worker scratch buffers merged at the level barrier.  Results
- * (state count, transition count, violation verdict and depth) are
- * deterministic regardless of thread count; see Explorer::run.
+ * Two parallel schedules share the sharded StateStore (see
+ * Schedule):
+ *
+ *  - Bfs: depth-synchronized levels expanded by a worker pool, with
+ *    per-worker scratch buffers merged at the level barrier.
+ *    Results (state count, transition count, violation verdict and
+ *    depth) are deterministic regardless of thread count.
+ *  - WorkSteal: asynchronous task-parallel expansion over per-worker
+ *    Chase-Lev deques (checker/workqueue.hh) — no depth barrier.
+ *    Depth labels converge to BFS-minimal values by label
+ *    correction, so verdicts, state counts and diameters are still
+ *    exact and thread-count-deterministic; only the transition
+ *    count (redundant re-expansions) becomes schedule-dependent.
+ *    See explorer_ws.cc.
  */
 
 #ifndef CXL_CHECKER_EXPLORER_HH
@@ -33,10 +42,30 @@
 namespace cxl
 {
 
+/** Parallel exploration schedule (see the file comment). */
+enum class Schedule : std::uint8_t {
+    /** Depth-synchronized level-parallel BFS (the paper-exact
+     * baseline: transition counts reproducible too). */
+    Bfs,
+    /**
+     * Asynchronous work stealing: workers spawn successor tasks into
+     * per-worker deques and steal when dry, so no worker idles at a
+     * depth barrier.  Verdicts, state counts and diameters match Bfs
+     * bit-for-bit at any thread count; transition/slept counts are
+     * schedule-dependent, and counterexample traces are shortest
+     * paths (by converged depth labels) rather than BFS-layer
+     * traces.
+     */
+    WorkSteal,
+};
+
 /** Exploration limits and switches. */
 struct ExploreOptions {
     std::uint64_t maxStates = 20'000'000;
     std::uint32_t maxDepth = 60000;
+
+    /** Which parallel schedule expands the frontier. */
+    Schedule schedule = Schedule::Bfs;
 
     /** Relabel tids per state; required for free-run finiteness. */
     bool canonicaliseTids = true;
@@ -216,10 +245,16 @@ class Explorer
     Explorer(const RuleSet &rules, const Scenario &scenario,
              const InvariantSet &invariants);
 
-    /** Run to completion or until a limit/violation stops the walk. */
+    /** Run to completion or until a limit/violation stops the walk;
+     * dispatches on ExploreOptions::schedule. */
     ExploreResult run(const ExploreOptions &options = {});
 
   private:
+    /** Depth-synchronized level-parallel schedule (explorer.cc). */
+    ExploreResult runBfs(const ExploreOptions &options);
+    /** Asynchronous work-stealing schedule (explorer_ws.cc). */
+    ExploreResult runWorkSteal(const ExploreOptions &options);
+
     std::vector<TraceStep> rebuildTrace(const StateStore &store,
                                         std::uint32_t idx) const;
 

@@ -128,7 +128,9 @@ StateStore::StateStore(std::size_t initial_buckets, StoreMode mode)
         shard.mask = per_shard - 1;
         // Fully reserve the arena (and offset-column) spines: they
         // must never reallocate, because readers index them lock-free
-        // (see stateAt / stateInto).
+        // (see stateAt / stateInto).  Same for the depth-chunk spine,
+        // which depthAt() walks lock-free in both modes.
+        shard.depths.reserve((kOffsetMask >> kOffChunkBits) + 1);
         if (mode_ == StoreMode::Full) {
             shard.blocks.reserve((kOffsetMask >> kBlockBits) + 1);
         } else {
@@ -161,7 +163,6 @@ StateStore::reserveStates(std::uint64_t expected)
         if (mode_ == StoreMode::Compact)
             shard.verifies.reserve(per_shard);
         shard.parents.reserve(per_shard);
-        shard.depths.reserve(per_shard);
         shard.rules.reserve(per_shard);
     }
 }
@@ -198,8 +199,9 @@ StateStore::insert(const SystemState &state, std::uint64_t hash,
     Shard &shard = shards_[shard_idx];
 
     std::lock_guard<std::mutex> lock(shard.mutex);
-    return probeInsertLocked(shard_idx, shard, state, hash, verify,
-                             parent, rule_id, depth);
+    const InsertOutcome out = probeInsertLocked(
+        shard_idx, shard, state, hash, verify, parent, rule_id, depth);
+    return {out.id, out.inserted};
 }
 
 void
@@ -246,16 +248,17 @@ StateStore::insertBatch(BatchItem *items, std::size_t count)
         for (std::uint32_t i = head[s]; i != kEnd;
              i = items[i].next_) {
             BatchItem &item = items[i];
-            auto [id, inserted] = probeInsertLocked(
+            const InsertOutcome out = probeInsertLocked(
                 s, shard, item.state, item.hash, item.verify_,
                 item.parent, item.rule, item.depth);
-            item.id = id;
-            item.inserted = inserted;
+            item.id = out.id;
+            item.inserted = out.inserted;
+            item.improved = out.improved;
         }
     }
 }
 
-std::pair<std::uint32_t, bool>
+StateStore::InsertOutcome
 StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
                               const SystemState &state,
                               std::uint64_t hash, std::uint64_t verify,
@@ -281,8 +284,23 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
             // states stay distinct and the probe continues.
             if (mode_ == StoreMode::Compact
                     ? shard.verifies[off] == verify
-                    : *blockState(shard, off) == state)
-                return {(shard_idx << kOffsetBits) | off, false};
+                    : *blockState(shard, off) == state) {
+                const std::uint32_t id =
+                    (shard_idx << kOffsetBits) | off;
+                // Label-correcting duplicate: a shorter path to a
+                // known state relabels its breadcrumbs (async
+                // schedule; BFS duplicates are never shallower).
+                std::atomic<std::uint32_t> &cell =
+                    depthCell(shard, off);
+                if (depth <
+                    cell.load(std::memory_order_relaxed)) {
+                    cell.store(depth, std::memory_order_relaxed);
+                    shard.parents[off] = parent;
+                    shard.rules[off] = rule_id;
+                    return {id, false, true};
+                }
+                return {id, false, false};
+            }
             ++shard.collisions;
         }
         slot = (slot + 1) & shard.mask;
@@ -296,8 +314,13 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
     const std::uint32_t off = shard.count++;
     shard.hashes.push_back(hash);
     shard.parents.push_back(parent);
-    shard.depths.push_back(depth);
     shard.rules.push_back(rule_id);
+    const std::uint32_t depth_chunk = off >> kOffChunkBits;
+    if (depth_chunk == shard.depths.size()) {
+        shard.depths.emplace_back(
+            new std::atomic<std::uint32_t>[1u << kOffChunkBits]);
+    }
+    depthCell(shard, off).store(depth, std::memory_order_relaxed);
 
     if (mode_ == StoreMode::Full) {
         const std::uint32_t block = off >> kBlockBits;
@@ -338,7 +361,35 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
 
     shard.buckets[slot] = off + 1;
     total_.fetch_add(1, std::memory_order_release);
-    return {(shard_idx << kOffsetBits) | off, true};
+    return {(shard_idx << kOffsetBits) | off, true, false};
+}
+
+std::uint32_t
+StateStore::maxDepthQuiescent() const
+{
+    std::uint32_t deepest = 0;
+    for (const Shard &shard : shards_) {
+        for (std::uint32_t off = 0; off < shard.count; ++off) {
+            deepest = std::max(
+                deepest, depthCell(shard, off)
+                             .load(std::memory_order_relaxed));
+        }
+    }
+    return deepest;
+}
+
+std::uint64_t
+StateStore::countDepthAtMost(std::uint32_t depth) const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        for (std::uint32_t off = 0; off < shard.count; ++off) {
+            if (depthCell(shard, off)
+                    .load(std::memory_order_relaxed) <= depth)
+                ++total;
+        }
+    }
+    return total;
 }
 
 void

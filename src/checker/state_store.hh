@@ -37,10 +37,20 @@
  * concurrently from any number of threads.  stateAt()/stateInto()
  * are safe concurrently with inserts *for ids published before the
  * current expansion phase began* (the arena blocks holding them are
- * fixed, and the block/offset spines never reallocate); the
- * breadcrumb accessors parentAt()/depthAt()/ruleAt() and sealLevel()
- * must only be used while the store is quiescent — the parallel
- * explorer calls them between depth barriers.
+ * fixed, and the block/offset spines never reallocate).  The depth
+ * column is chunked atomics: depthAt() may be read lock-free at any
+ * time (the work-stealing explorer's stale-task check depends on
+ * this), while parentAt()/ruleAt() and sealLevel() must only be used
+ * while the store is quiescent — the explorers call them between
+ * depth barriers or after termination.
+ *
+ * Duplicate inserts carrying a *smaller* depth than the stored entry
+ * relabel the entry's breadcrumbs (depth, parent, rule) in place and
+ * report BatchItem::improved — the label-correcting step of the
+ * work-stealing schedule's shortest-path convergence.  Under the
+ * depth-synchronized BFS schedule duplicates never arrive with a
+ * smaller depth, so the update is exercised only by the async
+ * engine.
  */
 
 #ifndef CXL_CHECKER_STATE_STORE_HH
@@ -107,7 +117,7 @@ class StateStore
     /**
      * One pending insert of a batched flush.  The caller fills state,
      * hash (the state's probe hash) and the breadcrumbs; insertBatch
-     * fills id and inserted.
+     * fills id, inserted and improved.
      */
     struct BatchItem {
         SystemState state;
@@ -118,6 +128,9 @@ class StateStore
         // Filled by insertBatch:
         std::uint32_t id = 0;
         bool inserted = false;
+        /** Known state relabelled to a smaller depth (see the class
+         * comment); the async explorer re-expands it. */
+        bool improved = false;
 
       private:
         friend class StateStore;
@@ -219,11 +232,6 @@ class StateStore
     {
         return shards_[shardOf(id)].parents[id & kOffsetMask];
     }
-    std::uint32_t
-    depthAt(std::uint32_t id) const
-    {
-        return shards_[shardOf(id)].depths[id & kOffsetMask];
-    }
     std::uint16_t
     ruleAt(std::uint32_t id) const
     {
@@ -231,10 +239,39 @@ class StateStore
     }
 
     /**
+     * Current depth label of @p id.  Safe concurrently with inserts
+     * and improvements (chunked atomic column, relaxed load): a racy
+     * read may be stale, but depths only ever decrease, so a stale
+     * value is an upper bound — exactly what the async explorer's
+     * stale-task check needs.  Exact once quiescent.
+     */
+    std::uint32_t
+    depthAt(std::uint32_t id) const
+    {
+        return depthCell(shards_[shardOf(id)], id & kOffsetMask)
+            .load(std::memory_order_relaxed);
+    }
+
+    /** Largest depth label over all entries; quiescent use only. */
+    std::uint32_t maxDepthQuiescent() const;
+
+    /** Number of entries with depth <= @p depth; quiescent use only.
+     * The async explorer uses this to reproduce the BFS
+     * stop-at-level state count on violation-stopped runs. */
+    std::uint64_t countDepthAtMost(std::uint32_t depth) const;
+
+    /**
      * BFS level barrier hook; call only while quiescent.  In compact
      * mode, releases the arena blocks of states older than the level
      * that just finished expanding (their ids will never be read
      * again) and records the new level boundary.  No-op in full mode.
+     *
+     * Sealing is a property of the depth-synchronized schedule only:
+     * the work-stealing explorer expands depths out of order and so
+     * never calls this — under it every compact-mode cell stays
+     * retained (costing the memory the seal would have freed, but
+     * making counterexample traces reconstructible even in compact
+     * mode).
      */
     void sealLevel();
 
@@ -275,8 +312,15 @@ class StateStore
         std::vector<std::uint64_t> hashes;   ///< probe hashes
         std::vector<std::uint64_t> verifies; ///< fingerprints (compact)
         std::vector<std::uint32_t> parents;
-        std::vector<std::uint32_t> depths;
         std::vector<std::uint16_t> rules;
+        /**
+         * Depth column, in fixed chunks of atomics: the spine is
+         * fully reserved and the chunks never move, so depthAt() can
+         * read lock-free while peers insert and improve.  Cells are
+         * written under the shard mutex with relaxed stores.
+         */
+        std::vector<std::unique_ptr<std::atomic<std::uint32_t>[]>>
+            depths;
         /**
          * State arena.  Full mode: fixed-slot blocks of kBlockSize
          * verbatim states.  Compact mode: kByteBlockSize byte blocks
@@ -319,7 +363,20 @@ class StateStore
                               [off & ((1u << kOffChunkBits) - 1)];
     }
 
-    std::pair<std::uint32_t, bool>
+    static std::atomic<std::uint32_t> &
+    depthCell(const Shard &shard, std::uint32_t off)
+    {
+        return shard.depths[off >> kOffChunkBits]
+                           [off & ((1u << kOffChunkBits) - 1)];
+    }
+
+    struct InsertOutcome {
+        std::uint32_t id;
+        bool inserted;
+        bool improved;
+    };
+
+    InsertOutcome
     probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
                       const SystemState &state, std::uint64_t hash,
                       std::uint64_t verify, std::uint32_t parent,

@@ -1,0 +1,111 @@
+#include "checker/workqueue.hh"
+
+namespace cxl
+{
+namespace
+{
+
+std::size_t
+pow2AtLeast(std::size_t n)
+{
+    std::size_t cap = 2;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+WorkDeque::Ring::Ring(std::size_t capacity)
+    : cap(static_cast<std::int64_t>(capacity)),
+      mask(static_cast<std::int64_t>(capacity) - 1),
+      slots(new std::atomic<std::uint64_t>[capacity])
+{
+}
+
+WorkDeque::WorkDeque(std::size_t initial_capacity)
+{
+    rings_.push_back(
+        std::make_unique<Ring>(pow2AtLeast(initial_capacity)));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+}
+
+WorkDeque::Ring *
+WorkDeque::grow(Ring *old, std::int64_t bottom, std::int64_t top)
+{
+    auto bigger =
+        std::make_unique<Ring>(static_cast<std::size_t>(old->cap) * 2);
+    for (std::int64_t i = top; i < bottom; ++i) {
+        bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    Ring *raw = bigger.get();
+    // The old ring is retired, not freed: a concurrent thief may
+    // still read from it, and its failing CAS discards the value.
+    rings_.push_back(std::move(bigger));
+    return raw;
+}
+
+void
+WorkDeque::push(std::uint64_t task)
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring *a = ring_.load(std::memory_order_relaxed);
+    if (b - t > a->cap - 1) {
+        a = grow(a, b, t);
+        ring_.store(a, std::memory_order_release);
+    }
+    a->at(b).store(task, std::memory_order_relaxed);
+    // Release-publish: a thief that acquires the new bottom sees the
+    // slot write (and, transitively, the ring published above).
+    bottom_.store(b + 1, std::memory_order_release);
+}
+
+bool
+WorkDeque::pop(std::uint64_t &out)
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring *a = ring_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair: the bottom reservation must be
+    // globally ordered before the top read, or a concurrent thief
+    // and the owner could both claim the last task.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+        // Already empty; restore bottom.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+    out = a->at(b).load(std::memory_order_relaxed);
+    if (t == b) {
+        // Last element: race the thieves for it via top.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst,
+            std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+    }
+    return true;
+}
+
+WorkDeque::Steal
+WorkDeque::steal(std::uint64_t &out)
+{
+    // seq_cst load pair, mirroring pop(): top must be read no later
+    // than bottom in the global order, or a stale bottom could make a
+    // non-empty deque look empty forever.
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b)
+        return Steal::Empty;
+    Ring *a = ring_.load(std::memory_order_acquire);
+    out = a->at(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+        return Steal::Abort; // lost to the owner or another thief
+    return Steal::Success;
+}
+
+} // namespace cxl

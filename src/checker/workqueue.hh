@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-worker work-stealing deque for the asynchronous explorer.
+ *
+ * A Chase-Lev deque in the C11 formulation of Lê, Pop, Cohen and
+ * Nardelli ("Correct and Efficient Work-Stealing for Weak Memory
+ * Models", PPoPP'13): the owning worker pushes and pops at the
+ * bottom (LIFO, so it keeps working on the subtree it just
+ * produced), thieves claim from the top (FIFO, so they take the
+ * oldest — typically shallowest and largest — pending task).  Tasks
+ * are plain 64-bit payloads; the explorer packs a state id and the
+ * depth the task was enqueued at into one.
+ *
+ * Memory-ordering notes:
+ *
+ *  - The implementation avoids standalone atomic_thread_fence: the
+ *    owner's bottom decrement in pop() and the top accesses race
+ *    with thieves through seq_cst operations on `top_`/`bottom_`
+ *    instead.  Equally correct (the original algorithm is specified
+ *    under SC; the fence formulation is an optimisation), and —
+ *    deliberately — fully visible to ThreadSanitizer, which does not
+ *    model standalone fences and would report false races against
+ *    the fence-based variant.  The deque is on the explorer's
+ *    per-*batch* path, not its per-state path, so the cost of the
+ *    stronger orders is noise.
+ *
+ *  - Ring slots are atomics accessed relaxed; the claim CAS on
+ *    `top_` decides ownership of the value read.  Retired rings are
+ *    kept alive until the deque is destroyed, so a thief holding a
+ *    stale ring pointer only ever reads stale *values*, which its
+ *    failing CAS then discards.
+ *
+ * Owner-only calls: push(), pop().  Any thread: steal().
+ */
+
+#ifndef CXL_CHECKER_WORKQUEUE_HH
+#define CXL_CHECKER_WORKQUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cxl
+{
+
+/** Single-owner, multi-thief Chase-Lev deque of u64 tasks. */
+class WorkDeque
+{
+  public:
+    enum class Steal : std::uint8_t {
+        Success, ///< @p out holds a claimed task
+        Empty,   ///< nothing to take at the time of the attempt
+        Abort,   ///< lost a race; retry (possibly elsewhere) is fine
+    };
+
+    /** @param initial_capacity ring size; rounded up to a power of 2. */
+    explicit WorkDeque(std::size_t initial_capacity = 256);
+
+    WorkDeque(const WorkDeque &) = delete;
+    WorkDeque &operator=(const WorkDeque &) = delete;
+
+    /** Owner only: enqueue a task at the bottom (grows as needed). */
+    void push(std::uint64_t task);
+
+    /**
+     * Owner only: take the most recently pushed task.
+     * @return false when the deque is empty.
+     */
+    bool pop(std::uint64_t &out);
+
+    /** Any thread: try to claim the oldest task. */
+    Steal steal(std::uint64_t &out);
+
+    /**
+     * Approximate size (racy snapshot); exact once the deque is
+     * quiescent.  Termination detection must not rely on this — the
+     * explorer keeps a global pending-task count instead.
+     */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+  private:
+    struct Ring {
+        explicit Ring(std::size_t capacity);
+        std::int64_t cap;  ///< power of two
+        std::int64_t mask; ///< cap - 1
+        std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+
+        std::atomic<std::uint64_t> &
+        at(std::int64_t i)
+        {
+            return slots[static_cast<std::size_t>(i & mask)];
+        }
+    };
+
+    /** Owner only: double the ring, copying the live range [t, b). */
+    Ring *grow(Ring *old, std::int64_t bottom, std::int64_t top);
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring *> ring_;
+    /** Every ring ever allocated; index 0 onward, freed at once in
+     * the destructor (thieves may hold stale pointers until then). */
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_WORKQUEUE_HH

@@ -1,7 +1,9 @@
 #include "obligation/matrix.hh"
 
 #include <chrono>
+#include <functional>
 #include <mutex>
+#include <vector>
 
 #include "support/thread_pool.hh"
 
@@ -113,12 +115,15 @@ checkObligationMatrix(const RuleSet &rules, const Scenario &scenario,
             (universe.size() + 4 * threads - 1) / (4 * threads);
         if (chunk == 0)
             chunk = 1;
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(universe.size() / chunk + 1);
         for (std::size_t begin = 0; begin < universe.size();
              begin += chunk) {
             std::size_t end =
                 std::min(begin + chunk, universe.size());
-            pool.submit([=] { process_slice(begin, end); });
+            jobs.push_back([=] { process_slice(begin, end); });
         }
+        pool.submitBatch(jobs.data(), jobs.size());
         pool.wait();
     }
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Atomic-free binary reduction tree over a ThreadPool.
+ *
+ * The asynchronous explorer accumulates counters, rule-fire
+ * profiles and violation candidates in per-worker scratch and merges
+ * them once, at termination.  A serial fold over N workers puts the
+ * whole merge on one thread; global atomics would put it on the
+ * per-event hot path.  The tree does neither: ceil(log2(N)) rounds
+ * of pairwise merges, each round's merges disjoint (worker i at
+ * stride s merges slot i+s into slot i, for i a multiple of 2s), so
+ * no merge needs a lock or an atomic, and each round's parallelism
+ * halves only as the remaining work does.
+ *
+ * Merge must be associative over the slot type and is given
+ * exclusive access to both slots: merge(into, from) folds `from`
+ * into `into` and may gut `from`.
+ */
+
+#ifndef CXL_SUPPORT_REDUCE_HH
+#define CXL_SUPPORT_REDUCE_HH
+
+#include <cstddef>
+
+#include "support/thread_pool.hh"
+
+namespace cxl
+{
+
+/**
+ * Fold slots [0, count) into slot 0 with ceil(log2(count)) rounds of
+ * pairwise merges.  @p pool may be null (small runs stay serial —
+ * the tree then degenerates to an in-order fold with the identical
+ * merge sequence, so results cannot depend on whether a pool was
+ * spun up).
+ */
+template <typename Slot, typename Merge>
+void
+treeReduce(Slot *slots, std::size_t count, ThreadPool *pool,
+           Merge &&merge)
+{
+    for (std::size_t stride = 1; stride < count; stride <<= 1) {
+        const std::size_t step = stride << 1;
+        if (pool && pool->threadCount() > 1) {
+            for (std::size_t i = 0; i + stride < count; i += step) {
+                pool->submit([slots, i, stride, &merge] {
+                    merge(slots[i], slots[i + stride]);
+                });
+            }
+            pool->wait();
+        } else {
+            for (std::size_t i = 0; i + stride < count; i += step)
+                merge(slots[i], slots[i + stride]);
+        }
+    }
+}
+
+} // namespace cxl
+
+#endif // CXL_SUPPORT_REDUCE_HH

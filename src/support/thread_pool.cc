@@ -38,6 +38,21 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
+ThreadPool::submitBatch(std::function<void()> *jobs,
+                        std::size_t count)
+{
+    if (count == 0)
+        return;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < count; ++i)
+            queue_.push_back(std::move(jobs[i]));
+        inFlight_ += count;
+    }
+    wake_.notify_all();
+}
+
+void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -1,11 +1,14 @@
 /**
  * @file
- * A small work-stealing-free thread pool.
+ * A small shared-queue thread pool.
  *
  * The obligation-matrix engine dispatches tens of thousands of
  * independent (rule, conjunct) cells, mirroring how the paper's
  * super_sketch utility fans out concurrent sledgehammer instances.
- * A shared-queue pool is entirely sufficient at that granularity.
+ * A shared FIFO queue is entirely sufficient at that granularity;
+ * submitBatch amortises the lock to one acquisition per fan-out.
+ * (Fine-grained work *stealing* lives elsewhere: the explorer's
+ * async schedule uses per-worker deques, checker/workqueue.hh.)
  */
 
 #ifndef CXL_SUPPORT_THREAD_POOL_HH
@@ -39,6 +42,14 @@ class ThreadPool
 
     /** Enqueue a job for asynchronous execution. */
     void submit(std::function<void()> job);
+
+    /**
+     * Enqueue @p count jobs under a single lock acquisition and one
+     * broadcast — the bulk-dispatch path for fan-outs of thousands of
+     * small cells, where per-submit locking measurably serialises the
+     * producer.  @p jobs is consumed (moved from).
+     */
+    void submitBatch(std::function<void()> *jobs, std::size_t count);
 
     /** Block until every submitted job has completed. */
     void wait();

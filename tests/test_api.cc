@@ -204,7 +204,7 @@ TEST(CheckResult, JsonSchemaKeysArePresentInOrder)
         "\"schema\": \"cxl-check-result/v1\"",
         "\"scenario\"", "\"devices\"", "\"threads\"",
         "\"symmetry_reduction\"", "\"compact\"", "\"por\"",
-        "\"max_states\"",
+        "\"schedule\"", "\"max_states\"",
         "\"rules\"", "\"conjuncts\"", "\"states\"", "\"transitions\"",
         "\"slept_transitions\"",
         "\"diameter\"", "\"completed\"", "\"seconds\"",
