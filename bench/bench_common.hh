@@ -20,6 +20,7 @@ namespace cxl::bench
 {
 
 using cxl::JsonObject;
+using cxl::currentRssBytes;
 using cxl::peakRssBytes;
 using cxl::writeJsonFile;
 

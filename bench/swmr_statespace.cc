@@ -112,7 +112,12 @@ main(int argc, char **argv)
 
     bool all_ok = true;
     for (const Case &c : cases) {
+        // Per-case RSS bracket: peak_rss_bytes is process-lifetime
+        // monotone, so later cases would otherwise all repeat the
+        // largest earlier case's footprint.
+        const std::uint64_t rss_before = bench::currentRssBytes();
         CheckResult res = session.run(freeRun(c.config));
+        const std::uint64_t rss_after = bench::currentRssBytes();
 
         // A run truncated by an explicit --max-states without a
         // violation reports SWMR holding on the explored prefix.
@@ -143,7 +148,12 @@ main(int argc, char **argv)
         total_seconds += res.seconds;
         total_collisions += res.probeCollisions;
         bench::JsonObject row;
-        row.str("name", c.name).raw("result", res.renderJson());
+        row.str("name", c.name)
+            .num("rss_before_bytes", rss_before)
+            .num("rss_after_bytes", rss_after)
+            .num("rss_delta_bytes",
+                 rss_after > rss_before ? rss_after - rss_before : 0)
+            .raw("result", res.renderJson());
         json_cases.push_back(row.render());
     }
     std::printf("%s", table.render().c_str());

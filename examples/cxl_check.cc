@@ -11,6 +11,10 @@
  *                                    prints only the deterministic
  *                                    `name: verdict` lines the CI
  *                                    goldens diff against
+ *   cxl_check --corpus DIR ...       first promote the fuzz corpus in
+ *                                    DIR into the registry, so --list,
+ *                                    --all and --scenario cover the
+ *                                    auto-discovered scenarios too
  *
  * Standard flags: --devices N, --threads N, --sym/--no-sym,
  * --compact, --por/--no-por, --ws/--bfs, --max-states N,
@@ -25,10 +29,13 @@
  */
 
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "api/check.hh"
 #include "api/options.hh"
+#include "fuzz/corpus.hh"
 #include "support/json.hh"
 
 using namespace cxl;
@@ -56,6 +63,16 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+
+    const std::string corpusDir = args.get("corpus", "");
+    if (!corpusDir.empty()) {
+        try {
+            fuzz::promoteToRegistry(fuzz::loadCorpus(corpusDir));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "cannot load corpus: %s\n", e.what());
+            return 2;
+        }
+    }
 
     if (args.has("list")) {
         for (const scenarios::Entry &e : scenarios::all()) {

@@ -231,7 +231,8 @@ CheckResult::renderJson() const
             .raw("violation_depth", "null");
     }
     json.num("probe_hash_collisions", probeCollisions)
-        .num("peak_rss_bytes", peakRssBytes());
+        .num("peak_rss_bytes", peakRssBytes())
+        .num("rss_delta_bytes", rssDeltaBytes);
     return json.render();
 }
 
@@ -284,6 +285,12 @@ CheckSession::modelFor(const ProtocolConfig &config, int devices)
 
 const RuleSet &
 CheckSession::ruleSet(const ProtocolConfig &config, int devices)
+{
+    return modelFor(config, devices).rules;
+}
+
+RuleSet &
+CheckSession::mutableRuleSet(const ProtocolConfig &config, int devices)
 {
     return modelFor(config, devices).rules;
 }
@@ -376,7 +383,9 @@ CheckSession::run(const CheckRequest &request)
     opt.stopAtFirstViolation = engine.stopAtFirstViolation;
 
     Explorer explorer(model.rules, resolved.scenario, invariants);
+    const std::uint64_t rss_before = currentRssBytes();
     ExploreResult res = explorer.run(opt);
+    const std::uint64_t rss_after = currentRssBytes();
 
     CheckResult out;
     out.scenario = resolved.name;
@@ -398,6 +407,8 @@ CheckSession::run(const CheckRequest &request)
     out.seconds = res.seconds;
     out.probeCollisions = res.probeCollisions;
     out.sleptTransitions = res.sleptTransitions;
+    out.rssDeltaBytes =
+        rss_after > rss_before ? rss_after - rss_before : 0;
 
     if (res.violation) {
         out.verdict = res.violation->kind == Violation::Kind::Deadlock

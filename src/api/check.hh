@@ -189,6 +189,15 @@ struct CheckResult {
     double seconds = 0.0;
     std::uint64_t probeCollisions = 0;
 
+    /**
+     * Resident-set growth across this run (current RSS sampled before
+     * and after; 0 when the run released as much as it allocated).
+     * Unlike the process-lifetime peak_rss_bytes this is a per-run
+     * number, so consecutive cases in one bench process don't all
+     * repeat the earlier maximum.
+     */
+    std::uint64_t rssDeltaBytes = 0;
+
     /** Firings pruned by POR; transitions + sleptTransitions is the
      * unreduced fan-out of the same state space. */
     std::uint64_t sleptTransitions = 0;
@@ -293,6 +302,18 @@ class CheckSession
                            int devices = kDefaultNumDevices);
     const InvariantSet &invariantSet(const ProtocolConfig &config,
                                      int devices = kDefaultNumDevices);
+
+    /**
+     * Mutable access to the cached rule set — the tamper hook for
+     * harnesses that need behaviour outside the ProtocolConfig space
+     * (RuleSet::addRule experiments, and the fuzz oracle's
+     * planted-divergence self-test, which corrupts exactly one
+     * engine combination's session and asserts the cross-check flags
+     * it).  Every later request of this session for the same
+     * (config, devices) sees the modification.
+     */
+    RuleSet &mutableRuleSet(const ProtocolConfig &config,
+                            int devices = kDefaultNumDevices);
 
     const EngineOptions &defaults() const { return defaults_; }
 

@@ -9,14 +9,6 @@ namespace cxl::scenarios
 namespace
 {
 
-std::string
-normalised(const std::string &name)
-{
-    std::string out = name;
-    std::replace(out.begin(), out.end(), '-', '_');
-    return out;
-}
-
 Entry
 fromLitmus(const LitmusTest &test)
 {
@@ -94,25 +86,59 @@ buildRegistry()
     return entries;
 }
 
+/** The mutable registry behind all(); built once, appended to by
+ * registerEntry. */
+std::vector<Entry> &
+registry()
+{
+    static std::vector<Entry> entries = buildRegistry();
+    return entries;
+}
+
 } // namespace
+
+std::string
+normalisedName(const std::string &name)
+{
+    std::string out = name;
+    std::replace(out.begin(), out.end(), '-', '_');
+    return out;
+}
 
 const std::vector<Entry> &
 all()
 {
-    static const std::vector<Entry> registry = buildRegistry();
-    return registry;
+    return registry();
 }
 
 const Entry *
 byName(const std::string &name)
 {
-    const std::string want = normalised(name);
+    const std::string want = normalisedName(name);
     for (const Entry &e : all()) {
-        const std::string have = normalised(e.name);
+        const std::string have = normalisedName(e.name);
         if (have == want || have == want + "_test")
             return &e;
     }
     return nullptr;
+}
+
+bool
+registerEntry(Entry entry)
+{
+    // Reject anything that would alias an existing entry under the
+    // forgiving lookup: an exact normalised match, or a "_test"
+    // suffix bridging the two names in either direction.
+    const std::string want = normalisedName(entry.name);
+    for (const Entry &e : all()) {
+        const std::string have = normalisedName(e.name);
+        if (have == want || have == want + "_test" ||
+            want == have + "_test") {
+            return false;
+        }
+    }
+    registry().push_back(std::move(entry));
+    return true;
 }
 
 } // namespace cxl::scenarios

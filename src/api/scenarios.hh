@@ -75,6 +75,31 @@ const std::vector<Entry> &all();
  */
 const Entry *byName(const std::string &name);
 
+/**
+ * The normalisation byName matches under: '-' folded to '_' (the
+ * optional "_test" suffix is handled separately).  Public so the
+ * registry-hygiene test and registerEntry enforce the same aliasing
+ * rule the lookup applies.
+ */
+std::string normalisedName(const std::string &name);
+
+/**
+ * Append a scenario to the registry at runtime — the promotion hook
+ * the fuzz corpus uses to surface auto-discovered scenarios to every
+ * registry consumer (cxl_check --all, the CI smoke matrix, the
+ * equivalence test suites).
+ *
+ * Registration may grow the underlying vector, so Entry pointers
+ * obtained from byName() before a registerEntry() call must not be
+ * retained across it.
+ *
+ * @return false (registry unchanged) when the entry's name would
+ *         alias an existing entry under byName's normalisation —
+ *         matching it directly, or via the "_test" suffix in either
+ *         direction.
+ */
+bool registerEntry(Entry entry);
+
 } // namespace cxl::scenarios
 
 #endif // CXL_API_SCENARIOS_HH

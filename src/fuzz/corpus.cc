@@ -1,0 +1,211 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "support/json.hh"
+#include "support/json_parse.hh"
+
+namespace cxl::fuzz
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+renderSignatureJson(const VerdictSignature &sig)
+{
+    JsonObject json;
+    json.str("verdict", sig.verdict)
+        .str("kind", sig.kind)
+        .str("conjunct", sig.conjunct)
+        .str("family", sig.family)
+        .num("depth", static_cast<std::uint64_t>(sig.depth))
+        .boolean("exact_counts", sig.exactCounts)
+        .num("states", sig.states)
+        .num("diameter", static_cast<std::uint64_t>(sig.diameter));
+    return json.render();
+}
+
+VerdictSignature
+signatureFromJson(const JsonValue &doc)
+{
+    VerdictSignature sig;
+    sig.verdict = doc.getStr("verdict");
+    sig.kind = doc.getStr("kind", "-");
+    sig.conjunct = doc.getStr("conjunct", "-");
+    sig.family = doc.getStr("family", "-");
+    sig.depth = static_cast<std::uint32_t>(doc.getNum("depth"));
+    sig.exactCounts = doc.getBool("exact_counts");
+    sig.states = doc.get("states") ? doc.get("states")->asUint() : 0;
+    sig.diameter =
+        static_cast<std::uint32_t>(doc.getNum("diameter"));
+    return sig;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("cannot read " + path);
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+std::string
+renderCorpusEntryJson(const CorpusEntry &entry)
+{
+    JsonObject json;
+    json.str("schema", "cxl-fuzz-corpus/v1")
+        .str("name", entry.fuzzCase.name())
+        .raw("case", entry.fuzzCase.renderJson())
+        .raw("signature", renderSignatureJson(entry.signature));
+    return json.render();
+}
+
+CorpusEntry
+corpusEntryFromJson(const std::string &text)
+{
+    const JsonValue doc = parseJson(text);
+    if (doc.getStr("schema") != "cxl-fuzz-corpus/v1")
+        throw std::runtime_error("not a cxl-fuzz-corpus/v1 document");
+    const JsonValue *fuzzCase = doc.get("case");
+    const JsonValue *signature = doc.get("signature");
+    if (!fuzzCase || !signature)
+        throw std::runtime_error("corpus entry missing case/signature");
+    CorpusEntry entry;
+    entry.fuzzCase = FuzzCase::fromJson(fuzzCase->render());
+    entry.signature = signatureFromJson(*signature);
+    return entry;
+}
+
+std::vector<CorpusEntry>
+loadCorpus(const std::string &dir)
+{
+    std::vector<CorpusEntry> entries;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return entries;
+
+    std::vector<std::string> files;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir)) {
+        if (de.path().extension() == ".json")
+            files.push_back(de.path().string());
+    }
+    // Directory iteration order is filesystem-dependent; the sort is
+    // what makes corpus order (and everything derived from it)
+    // deterministic.
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &file : files) {
+        try {
+            entries.push_back(corpusEntryFromJson(readFile(file)));
+        } catch (const std::exception &e) {
+            throw std::runtime_error(file + ": " + e.what());
+        }
+    }
+    return entries;
+}
+
+bool
+saveCorpusEntry(const std::string &dir, const CorpusEntry &entry)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::string path =
+        (fs::path(dir) / (entry.fuzzCase.name() + ".json")).string();
+    return writeFile(path, renderCorpusEntryJson(entry) + "\n");
+}
+
+void
+removeCorpusEntry(const std::string &dir, const std::string &name)
+{
+    std::error_code ec;
+    fs::remove(fs::path(dir) / (name + ".json"), ec);
+}
+
+std::string
+renderManifest(const std::vector<CorpusEntry> &entries)
+{
+    std::vector<std::string> lines;
+    for (const CorpusEntry &entry : entries) {
+        lines.push_back(entry.fuzzCase.name() + " " +
+                        entry.signature.key() + "\n");
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string text;
+    for (const std::string &line : lines)
+        text += line;
+    return text;
+}
+
+bool
+writeManifest(const std::string &dir,
+              const std::vector<CorpusEntry> &entries)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return writeFile((fs::path(dir) / "MANIFEST.txt").string(),
+                     renderManifest(entries));
+}
+
+std::size_t
+promoteToRegistry(const std::vector<CorpusEntry> &entries)
+{
+    std::size_t registered = 0;
+    for (const CorpusEntry &entry : entries) {
+        // Registry expectations can only say "holds" or "reaches a
+        // violation (family)", and registered scenarios run without
+        // the fuzz case's state cap — so deadlock- and
+        // incomplete-signature entries stay fuzz-replay-only.
+        if (entry.signature.verdict != "holds" &&
+            entry.signature.verdict != "violation") {
+            continue;
+        }
+        const FuzzCase &c = entry.fuzzCase;
+        scenarios::Entry reg;
+        reg.name = c.name();
+        reg.description =
+            "fuzz-promoted scenario (reference signature " +
+            entry.signature.key() + ")";
+        reg.config = c.config;
+        reg.families = c.families;
+        reg.expectViolation = entry.signature.verdict == "violation";
+        if (entry.signature.kind == "conjunct")
+            reg.expectedViolationFamily = entry.signature.family;
+        reg.deviceScalable = false;
+        reg.fixedDevices = c.devices;
+        reg.build = [scenario = c.toScenario()](int) {
+            return scenario;
+        };
+        if (scenarios::registerEntry(std::move(reg)))
+            ++registered;
+    }
+    return registered;
+}
+
+} // namespace cxl::fuzz

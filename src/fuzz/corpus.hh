@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The persisted fuzz corpus: one JSON file per interesting case
+ * (schema "cxl-fuzz-corpus/v1", the case plus its stored reference
+ * signature), a MANIFEST.txt listing `<name> <signature-key>` per
+ * line in name order, and the promotion hook that registers corpus
+ * entries as first-class scenarios (scenarios::registerEntry) so
+ * `cxl_check --all` and the equivalence suites pick them up.
+ *
+ * Files are named `<case-name>.json`; the name is a content hash, so
+ * re-saving an identical case is a no-op and the manifest is
+ * byte-stable for a fixed corpus — which is what the fixed-seed
+ * determinism test and the CI artifact diff rely on.
+ */
+
+#ifndef CXL_FUZZ_CORPUS_HH
+#define CXL_FUZZ_CORPUS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.hh"
+
+namespace cxl::fuzz
+{
+
+/** One corpus member: the case plus its stored reference signature. */
+struct CorpusEntry {
+    FuzzCase fuzzCase;
+    VerdictSignature signature;
+};
+
+/** Canonical JSON form of one entry. */
+std::string renderCorpusEntryJson(const CorpusEntry &entry);
+
+/**
+ * Parse an entry previously produced by renderCorpusEntryJson.
+ * @throws std::runtime_error on malformed input.
+ */
+CorpusEntry corpusEntryFromJson(const std::string &text);
+
+/**
+ * Load every `*.json` case in @p dir, sorted by filename (i.e. by
+ * case name).  A missing directory is an empty corpus; a malformed
+ * file throws.
+ */
+std::vector<CorpusEntry> loadCorpus(const std::string &dir);
+
+/**
+ * Write @p entry to `<dir>/<case-name>.json` (creating @p dir if
+ * needed).  @return false on I/O failure.
+ */
+bool saveCorpusEntry(const std::string &dir, const CorpusEntry &entry);
+
+/** Remove `<dir>/<case-name>.json` if present. */
+void removeCorpusEntry(const std::string &dir, const std::string &name);
+
+/** The manifest text: one `<name> <signature-key>` line per entry,
+ * sorted by name. */
+std::string renderManifest(const std::vector<CorpusEntry> &entries);
+
+/** Write renderManifest to `<dir>/MANIFEST.txt`. */
+bool writeManifest(const std::string &dir,
+                   const std::vector<CorpusEntry> &entries);
+
+/**
+ * Register every entry in the scenario registry (named by case name,
+ * expectation derived from the stored signature).  Entries whose
+ * names would alias existing scenarios are skipped.
+ *
+ * @return how many entries were registered.
+ */
+std::size_t
+promoteToRegistry(const std::vector<CorpusEntry> &entries);
+
+} // namespace cxl::fuzz
+
+#endif // CXL_FUZZ_CORPUS_HH

@@ -1,0 +1,294 @@
+#include "fuzz/gen.hh"
+
+#include <algorithm>
+
+#include "invariants/invariant.hh"
+
+namespace cxl::fuzz
+{
+namespace
+{
+
+/**
+ * The invariant-family vocabulary the generator restricts cases to.
+ * Some families exist only under particular config bits (e.g. the
+ * data-conflict conjuncts need the stale-evict drop), so the
+ * vocabulary is the union over the correct config and the
+ * all-bits-flipped behavioural config, in first-appearance order.
+ */
+std::vector<std::string>
+familyVocabulary()
+{
+    std::vector<std::string> vocab =
+        InvariantSet::full(ProtocolConfig::correct(), kMaxDevices)
+            .families();
+    ProtocolConfig flipped;
+    flipped.staleEvictDrop = false;
+    flipped.cleanEvictNoData = false;
+    flipped.hostCleanPull = true;
+    for (const std::string &f :
+         InvariantSet::full(flipped, kMaxDevices).families()) {
+        if (std::find(vocab.begin(), vocab.end(), f) == vocab.end())
+            vocab.push_back(f);
+    }
+    return vocab;
+}
+
+} // namespace
+
+ScenarioGen::ScenarioGen(GenOptions options)
+    : options_(options),
+      rng_(options.seed),
+      familyVocabulary_(familyVocabulary())
+{
+    options_.minDevices = std::max(1, options_.minDevices);
+    options_.maxDevices =
+        std::min(kMaxDevices,
+                 std::max(options_.minDevices, options_.maxDevices));
+}
+
+void
+ScenarioGen::addSeed(const FuzzCase &seedCase)
+{
+    seeds_.push_back(seedCase);
+}
+
+void
+ScenarioGen::normalise(FuzzCase &c) const
+{
+    c.devices = std::clamp(c.devices, 1, kMaxDevices);
+    if (c.devices > 0)
+        c.owner = static_cast<std::uint8_t>(c.owner % c.devices);
+    if (c.freeRun) {
+        // Programs are ignored in free run; drop them so equal
+        // behaviours serialise (and hash) identically.  Free runs are
+        // the only unbounded cases, so they must carry a cap.
+        c.programs.clear();
+        if (c.maxStates == 0)
+            c.maxStates = options_.freeRunCap;
+    } else {
+        c.programs.resize(c.devices);
+        c.maxStates = 0;
+    }
+    std::sort(c.families.begin(), c.families.end());
+    c.families.erase(
+        std::unique(c.families.begin(), c.families.end()),
+        c.families.end());
+}
+
+FuzzCase
+ScenarioGen::next()
+{
+    if (!seeds_.empty() && rng_.chance(options_.mutationPercent)) {
+        FuzzCase base =
+            seeds_[rng_.below(static_cast<std::uint32_t>(
+                seeds_.size()))];
+        // A couple of stacked mutation steps reach further from the
+        // seed than a single flip while staying in its neighbourhood.
+        const std::uint32_t steps = 1 + rng_.below(3);
+        for (std::uint32_t s = 0; s < steps; ++s)
+            base = mutate(std::move(base));
+        return base;
+    }
+    return fresh();
+}
+
+FuzzCase
+ScenarioGen::fresh()
+{
+    FuzzCase c;
+    c.devices =
+        options_.minDevices +
+        static_cast<int>(rng_.below(static_cast<std::uint32_t>(
+            options_.maxDevices - options_.minDevices + 1)));
+    c.freeRun = rng_.chance(25);
+
+    // Initial state: bias towards the interesting templates evenly;
+    // values stay tiny (stores write device_id + 1, so anything
+    // beyond the device count adds no new behaviour).
+    switch (rng_.below(3)) {
+      case 0: c.init = InitKind::AllInvalid; break;
+      case 1: c.init = InitKind::BothShared; break;
+      default: c.init = InitKind::OneModified; break;
+    }
+    c.memVal = static_cast<std::uint8_t>(rng_.below(3));
+    c.ownerVal = static_cast<std::uint8_t>(1 + rng_.below(3));
+    c.owner = static_cast<std::uint8_t>(
+        rng_.below(static_cast<std::uint32_t>(c.devices)));
+
+    // Config bits: behavioural toggles keep their spec-leaning
+    // defaults most of the time; each mutation fires rarely so the
+    // correct protocol stays well represented in the stream.
+    c.config.staleEvictDrop = !rng_.chance(25);
+    c.config.cleanEvictNoData = !rng_.chance(25);
+    c.config.hostCleanPull = rng_.chance(13);
+    c.config.relaxSnoopPushesGo = rng_.chance(16);
+    c.config.relaxSmadSnoopGuard = rng_.chance(16);
+    c.config.relaxGoTailgate = rng_.chance(16);
+    c.config.relaxOneSnoop = rng_.chance(16);
+
+    // Family restriction: usually the full invariant, sometimes a
+    // one- or two-family slice (how the paper's Section 5.2 scenarios
+    // are phrased).
+    if (rng_.chance(30) && !familyVocabulary_.empty()) {
+        const std::uint32_t picks = 1 + rng_.below(2);
+        for (std::uint32_t i = 0; i < picks; ++i) {
+            c.families.push_back(
+                familyVocabulary_[rng_.below(
+                    static_cast<std::uint32_t>(
+                        familyVocabulary_.size()))]);
+        }
+    }
+
+    if (!c.freeRun) {
+        c.programs.resize(c.devices);
+        for (int d = 0; d < c.devices; ++d) {
+            // Geometric-ish length: most programs stay short, the
+            // tail reaches maxProgramLen.
+            std::uint32_t len = 0;
+            while (len < options_.maxProgramLen && rng_.chance(55))
+                ++len;
+            for (std::uint32_t i = 0; i < len; ++i) {
+                switch (rng_.below(3)) {
+                  case 0:
+                    c.programs[d].push_back(Instr::Load);
+                    break;
+                  case 1:
+                    c.programs[d].push_back(Instr::Store);
+                    break;
+                  default:
+                    c.programs[d].push_back(Instr::Evict);
+                    break;
+                }
+            }
+        }
+    }
+
+    normalise(c);
+    return c;
+}
+
+FuzzCase
+ScenarioGen::mutate(FuzzCase base)
+{
+    switch (rng_.below(8)) {
+      case 0: {
+        // Flip one config bit.
+        switch (rng_.below(7)) {
+          case 0:
+            base.config.staleEvictDrop = !base.config.staleEvictDrop;
+            break;
+          case 1:
+            base.config.cleanEvictNoData =
+                !base.config.cleanEvictNoData;
+            break;
+          case 2:
+            base.config.hostCleanPull = !base.config.hostCleanPull;
+            break;
+          case 3:
+            base.config.relaxSnoopPushesGo =
+                !base.config.relaxSnoopPushesGo;
+            break;
+          case 4:
+            base.config.relaxSmadSnoopGuard =
+                !base.config.relaxSmadSnoopGuard;
+            break;
+          case 5:
+            base.config.relaxGoTailgate =
+                !base.config.relaxGoTailgate;
+            break;
+          default:
+            base.config.relaxOneSnoop = !base.config.relaxOneSnoop;
+            break;
+        }
+        break;
+      }
+      case 1: {
+        // Insert an instruction at a random point of one program.
+        if (!base.freeRun && base.devices > 0) {
+            base.programs.resize(base.devices);
+            std::vector<Instr> &prog =
+                base.programs[rng_.below(
+                    static_cast<std::uint32_t>(base.devices))];
+            const Instr instr =
+                rng_.below(3) == 0
+                    ? Instr::Load
+                    : (rng_.below(2) == 0 ? Instr::Store
+                                          : Instr::Evict);
+            prog.insert(prog.begin() +
+                            rng_.below(static_cast<std::uint32_t>(
+                                prog.size() + 1)),
+                        instr);
+        }
+        break;
+      }
+      case 2: {
+        // Delete an instruction.
+        if (!base.freeRun && !base.programs.empty()) {
+            std::vector<Instr> &prog =
+                base.programs[rng_.below(
+                    static_cast<std::uint32_t>(
+                        base.programs.size()))];
+            if (!prog.empty()) {
+                prog.erase(prog.begin() +
+                           rng_.below(static_cast<std::uint32_t>(
+                               prog.size())));
+            }
+        }
+        break;
+      }
+      case 3: {
+        // Grow or shrink the device count.
+        const int delta = rng_.chance(50) ? 1 : -1;
+        base.devices = std::clamp(base.devices + delta,
+                                  options_.minDevices,
+                                  options_.maxDevices);
+        break;
+      }
+      case 4: {
+        // Switch the initial-state template.
+        switch (rng_.below(3)) {
+          case 0: base.init = InitKind::AllInvalid; break;
+          case 1: base.init = InitKind::BothShared; break;
+          default: base.init = InitKind::OneModified; break;
+        }
+        base.owner = static_cast<std::uint8_t>(
+            rng_.below(static_cast<std::uint32_t>(
+                std::max(1, base.devices))));
+        break;
+      }
+      case 5: {
+        // Toggle free-run mode; normalise() rebuilds the program /
+        // cap shape for the new mode.
+        base.freeRun = !base.freeRun;
+        if (base.freeRun)
+            base.maxStates = options_.freeRunCap;
+        break;
+      }
+      case 6: {
+        // Adjust the family restriction: clear it, or swap in a
+        // random family.
+        if (!base.families.empty() && rng_.chance(50)) {
+            base.families.clear();
+        } else if (!familyVocabulary_.empty()) {
+            base.families.push_back(
+                familyVocabulary_[rng_.below(
+                    static_cast<std::uint32_t>(
+                        familyVocabulary_.size()))]);
+            while (base.families.size() > 2)
+                base.families.erase(base.families.begin());
+        }
+        break;
+      }
+      default: {
+        // Nudge the initial values.
+        base.memVal = static_cast<std::uint8_t>(rng_.below(3));
+        base.ownerVal = static_cast<std::uint8_t>(1 + rng_.below(3));
+        break;
+      }
+    }
+    normalise(base);
+    return base;
+}
+
+} // namespace cxl::fuzz

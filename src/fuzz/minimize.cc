@@ -1,0 +1,154 @@
+#include "fuzz/minimize.hh"
+
+#include <algorithm>
+
+#include "fuzz/oracle.hh"
+
+namespace cxl::fuzz
+{
+namespace
+{
+
+/** Keep a candidate structurally well-formed after a shrink. */
+void
+normalise(FuzzCase &c)
+{
+    c.devices = std::clamp(c.devices, 1, kMaxDevices);
+    c.owner = static_cast<std::uint8_t>(c.owner % c.devices);
+    if (c.freeRun)
+        c.programs.clear();
+    else
+        c.programs.resize(c.devices);
+}
+
+} // namespace
+
+FuzzCase
+minimizeCase(const FuzzCase &input, const VerdictSignature &target,
+             MinimizeStats *stats)
+{
+    FuzzCase current = input;
+    normalise(current);
+
+    // Violations shrink towards the smallest scenario that still
+    // reproduces the class (conjunct + family); the witness depth may
+    // legitimately drop.  A "holds" class carries no conjunct, so it
+    // would collapse into the trivial empty scenario — preserving the
+    // noveltyKey (diameter class) instead keeps the corpus's clean
+    // cases exploration-size-diverse.
+    const bool holdsClass = target.verdict == "holds";
+    const std::string want =
+        holdsClass ? target.noveltyKey() : target.classKey();
+
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+
+    auto accept = [&](const FuzzCase &candidate) {
+        ++st.candidates;
+        const VerdictSignature sig = referenceSignature(candidate);
+        const std::string got =
+            holdsClass ? sig.noveltyKey() : sig.classKey();
+        if (got != want)
+            return false;
+        ++st.shrinks;
+        return true;
+    };
+
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+
+        // Pass 1: fewer devices (BothShared needs two by definition).
+        const int minDevices =
+            current.init == InitKind::BothShared ? 2 : 1;
+        while (current.devices > minDevices) {
+            FuzzCase cand = current;
+            --cand.devices;
+            normalise(cand);
+            if (!accept(cand))
+                break;
+            current = cand;
+            shrunk = true;
+        }
+
+        // Pass 2: config bits back to the correct-protocol defaults.
+        const ProtocolConfig defaults = ProtocolConfig::correct();
+        auto tryBit = [&](bool ProtocolConfig::*bit) {
+            if (current.config.*bit == defaults.*bit)
+                return;
+            FuzzCase cand = current;
+            cand.config.*bit = defaults.*bit;
+            if (accept(cand)) {
+                current = cand;
+                shrunk = true;
+            }
+        };
+        tryBit(&ProtocolConfig::relaxSnoopPushesGo);
+        tryBit(&ProtocolConfig::relaxSmadSnoopGuard);
+        tryBit(&ProtocolConfig::relaxGoTailgate);
+        tryBit(&ProtocolConfig::relaxOneSnoop);
+        tryBit(&ProtocolConfig::hostCleanPull);
+        tryBit(&ProtocolConfig::staleEvictDrop);
+        tryBit(&ProtocolConfig::cleanEvictNoData);
+
+        // Pass 3: lift the family restriction (entirely, else one
+        // family at a time).
+        if (!current.families.empty()) {
+            FuzzCase cand = current;
+            cand.families.clear();
+            if (accept(cand)) {
+                current = cand;
+                shrunk = true;
+            }
+        }
+        for (std::size_t i = 0;
+             current.families.size() > 1 && i < current.families.size();) {
+            FuzzCase cand = current;
+            cand.families.erase(cand.families.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            if (accept(cand)) {
+                current = cand;
+                shrunk = true;
+            } else {
+                ++i;
+            }
+        }
+
+        // Pass 4: drop litmus instructions, front to back per device.
+        for (std::size_t d = 0; d < current.programs.size(); ++d) {
+            for (std::size_t i = 0;
+                 i < current.programs[d].size();) {
+                FuzzCase cand = current;
+                cand.programs[d].erase(
+                    cand.programs[d].begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                if (accept(cand)) {
+                    current = cand;
+                    shrunk = true;
+                } else {
+                    ++i;
+                }
+            }
+        }
+
+        // Pass 5: smallest initial values that still reproduce.
+        auto tryValue = [&](std::uint8_t FuzzCase::*field,
+                            std::uint8_t want) {
+            if (current.*field == want)
+                return;
+            FuzzCase cand = current;
+            cand.*field = want;
+            if (accept(cand)) {
+                current = cand;
+                shrunk = true;
+            }
+        };
+        tryValue(&FuzzCase::memVal, 0);
+        tryValue(&FuzzCase::ownerVal, 1);
+        tryValue(&FuzzCase::owner, 0);
+    }
+
+    return current;
+}
+
+} // namespace cxl::fuzz

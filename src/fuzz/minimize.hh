@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trace-guided corpus minimizer: greedily shrink a FuzzCase — drop
+ * litmus steps, clear config bits, reduce devices, lift the family
+ * restriction — while the reference run keeps reproducing the same
+ * verdict class (verdict + violation kind + conjunct + family).
+ *
+ * Depth and state counts are deliberately allowed to change: the
+ * point of a minimized corpus entry is the smallest scenario that
+ * still witnesses the class, and dropping steps legitimately shortens
+ * the witness.  The corpus stores the minimized case's own reference
+ * signature, so replay still checks exact counts.  "holds" cases are
+ * the exception — with no conjunct to preserve they would all
+ * collapse into the empty scenario, so they additionally keep their
+ * diameter class (the noveltyKey).
+ *
+ * The pass order is fixed and each pass runs to a fixpoint, which
+ * makes minimization deterministic and idempotent: minimizing an
+ * already-minimal case is a no-op (every candidate shrink was already
+ * tried and rejected).
+ */
+
+#ifndef CXL_FUZZ_MINIMIZE_HH
+#define CXL_FUZZ_MINIMIZE_HH
+
+#include <cstddef>
+
+#include "fuzz/case.hh"
+
+namespace cxl::fuzz
+{
+
+/** Minimization effort accounting. */
+struct MinimizeStats {
+    std::size_t candidates = 0; ///< reference runs spent
+    std::size_t shrinks = 0;    ///< accepted candidates
+};
+
+/**
+ * Shrink @p input while its reference signature keeps the classKey of
+ * @p target (normally input's own reference signature, computed by
+ * the caller).  Returns the fixpoint.
+ */
+FuzzCase minimizeCase(const FuzzCase &input,
+                      const VerdictSignature &target,
+                      MinimizeStats *stats = nullptr);
+
+} // namespace cxl::fuzz
+
+#endif // CXL_FUZZ_MINIMIZE_HH

@@ -1,16 +1,23 @@
 /**
  * @file
- * Process resource probes: peak RSS, reported in CheckResult JSON and
- * the bench harnesses' memory summaries.
+ * Process resource probes: peak and current RSS, reported in
+ * CheckResult JSON and the bench harnesses' memory summaries.
+ *
+ * Peak RSS is process-lifetime-monotone, so consecutive runs in one
+ * process all report the maximum any earlier run reached; per-case
+ * memory attribution must sample currentRssBytes() around each run
+ * instead (CheckSession::run does, as rss_delta_bytes).
  */
 
 #ifndef CXL_SUPPORT_RESOURCE_HH
 #define CXL_SUPPORT_RESOURCE_HH
 
 #include <cstdint>
+#include <cstdio>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace cxl
@@ -32,6 +39,35 @@ peakRssBytes()
 #endif
 #else
     return 0;
+#endif
+}
+
+/**
+ * Current resident set size of this process, in bytes (0 when the
+ * platform offers no probe).  Unlike peakRssBytes() this can go down
+ * when memory is released, so sampling it before and after a run
+ * attributes memory to that run rather than to the process maximum.
+ */
+inline std::uint64_t
+currentRssBytes()
+{
+#if defined(__linux__)
+    // /proc/self/statm field 2: resident pages.
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return static_cast<std::uint64_t>(resident) *
+           static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+    // No portable current-RSS probe; fall back to the monotone peak
+    // so callers still get a sane upper bound.
+    return peakRssBytes();
 #endif
 }
 

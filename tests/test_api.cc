@@ -11,6 +11,7 @@
 #include "api/check.hh"
 #include "api/scenarios.hh"
 #include "checker/explorer.hh"
+#include "support/json_parse.hh"
 
 namespace cxl
 {
@@ -211,7 +212,7 @@ TEST(CheckResult, JsonSchemaKeysArePresentInOrder)
         "\"states_per_sec\"", "\"verdict\"", "\"violation_kind\"",
         "\"violated_conjunct\"", "\"violated_family\"",
         "\"violation_depth\"", "\"probe_hash_collisions\"",
-        "\"peak_rss_bytes\"",
+        "\"peak_rss_bytes\"", "\"rss_delta_bytes\"",
     };
     std::size_t at = 0;
     for (const char *key : keys) {
@@ -333,6 +334,97 @@ TEST(CheckSession, BitIdenticalToLowLevelPathAcrossThreadCounts)
                 EXPECT_EQ(res.ruleFires[r].fires,
                           ref.ruleFireCounts[r])
                     << res.ruleFires[r].name;
+        }
+    }
+}
+
+// ---------------------------------------------------- registry hygiene
+
+TEST(ScenarioRegistry, HasNoAliasedNamesUnderLookupNormalisation)
+{
+    // byName folds '-' to '_' and bridges the optional "_test"
+    // suffix, so two distinct entries may silently shadow each other
+    // unless their *normalised* names (with and without the suffix)
+    // stay unique.
+    std::vector<std::string> seen;
+    for (const scenarios::Entry &e : scenarios::all()) {
+        const std::string norm = scenarios::normalisedName(e.name);
+        for (const std::string &other : seen) {
+            EXPECT_FALSE(norm == other || norm == other + "_test" ||
+                         other == norm + "_test")
+                << "registry entries alias under byName: '" << norm
+                << "' vs '" << other << "'";
+        }
+        seen.push_back(norm);
+    }
+}
+
+TEST(ScenarioRegistry, RejectsRegistrationsThatWouldAlias)
+{
+    const std::size_t before = scenarios::all().size();
+
+    scenarios::Entry dup;
+    dup.name = "free-run"; // normalises onto the existing free-run
+    dup.build = [](int ndev) {
+        return Scenario::freeRunScenario(ndev);
+    };
+    EXPECT_FALSE(scenarios::registerEntry(dup));
+
+    dup.name = "clean_evict"; // aliases clean_evict_test via suffix
+    EXPECT_FALSE(scenarios::registerEntry(dup));
+    EXPECT_EQ(scenarios::all().size(), before);
+
+    // A genuinely new name registers and is then found by lookup.
+    scenarios::Entry fresh;
+    fresh.name = "registry_hygiene_probe";
+    fresh.description = "registered by test_api";
+    fresh.build = [](int ndev) {
+        return Scenario::freeRunScenario(ndev);
+    };
+    EXPECT_TRUE(scenarios::registerEntry(fresh));
+    EXPECT_EQ(scenarios::all().size(), before + 1);
+    const scenarios::Entry *found =
+        scenarios::byName("registry-hygiene-probe");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->description, "registered by test_api");
+
+    // And it now blocks its own aliases.
+    EXPECT_FALSE(scenarios::registerEntry(fresh));
+}
+
+TEST(ScenarioRegistry, EveryEntryRoundTripsThroughJsonToItsVerdict)
+{
+    // Run every registry entry (at its pinned device count), parse
+    // the rendered JSON back, and cross-check the structured verdict
+    // against both the expectation the entry declares and the
+    // original CheckResult fields.
+    CheckSession session;
+    for (const scenarios::Entry &e : scenarios::all()) {
+        CheckRequest req;
+        req.scenario = e.name;
+        req.devices =
+            e.deviceScalable ? kDefaultNumDevices : e.fixedDevices;
+        const CheckResult res = session.run(req);
+
+        const JsonValue doc = parseJson(res.renderJson());
+        EXPECT_EQ(doc.getStr("schema"), "cxl-check-result/v1")
+            << e.name;
+        EXPECT_EQ(doc.getStr("scenario"), e.name);
+        EXPECT_EQ(doc.getNum("devices"), req.devices);
+        EXPECT_EQ(doc.get("states")->asUint(), res.states) << e.name;
+        EXPECT_EQ(doc.getBool("completed"), res.completed);
+
+        if (e.expectViolation) {
+            EXPECT_EQ(doc.getStr("verdict"), "violation") << e.name;
+            if (!e.expectedViolationFamily.empty()) {
+                EXPECT_EQ(doc.getStr("violated_family"),
+                          e.expectedViolationFamily)
+                    << e.name;
+            }
+        } else {
+            EXPECT_EQ(doc.getStr("verdict"), "holds") << e.name;
+            EXPECT_TRUE(doc.get("violated_conjunct")->isNull())
+                << e.name;
         }
     }
 }
