@@ -119,11 +119,15 @@ main(int argc, char **argv)
         CheckResult res = session.run(freeRun(c.config));
         const std::uint64_t rss_after = bench::currentRssBytes();
 
-        // A run truncated by an explicit --max-states without a
-        // violation reports SWMR holding on the explored prefix.
+        // A run truncated by an explicit --max-states, a resource
+        // budget or Ctrl-C without a violation reports SWMR holding
+        // on the explored prefix.
         const bool capped =
             res.verdict == CheckResult::Verdict::Incomplete;
-        bool ok = res.holds() || (capped && opts.userCapped);
+        const bool requested_stop =
+            opts.userCapped || opts.userBudgeted ||
+            res.stopReason == StopReason::Cancelled;
+        bool ok = res.holds() || (capped && requested_stop);
         all_ok &= ok;
         char time_txt[32], rate_txt[32];
         std::snprintf(time_txt, sizeof(time_txt), "%.3f", res.seconds);
@@ -139,8 +143,13 @@ main(int argc, char **argv)
                       std::to_string(res.diameter), time_txt, rate_txt,
                       res.violation ? res.violation->describe()
                       : !capped     ? "HOLDS everywhere"
-                      : opts.userCapped
-                          ? "holds (maxStates cap hit)"
+                      : requested_stop
+                          ? std::string("holds (stopped: ") +
+                                stopReasonPhrase(
+                                    res.stopReason == StopReason::None
+                                        ? StopReason::StateCap
+                                        : res.stopReason) +
+                                ")"
                           : "INCOMPLETE (built-in cap)"});
 
         total_states += res.states;
@@ -179,7 +188,9 @@ main(int argc, char **argv)
                         ? "invariant holds on every orbit"
                         : "invariant holds everywhere");
         all_ok &= !res.violation &&
-                  (res.completed || opts.userCapped);
+                  (res.completed || opts.userCapped ||
+                   opts.userBudgeted ||
+                   res.stopReason == StopReason::Cancelled);
     }
 
     std::printf(

@@ -18,14 +18,16 @@
  *
  * Standard flags: --devices N, --threads N, --sym/--no-sym,
  * --compact, --por/--no-por, --ws/--bfs, --max-states N,
- * --expect-states N, --json [PATH].  `--ws` selects the
- * work-stealing schedule: verdict lines are unchanged (states,
- * diameters and verdicts are schedule-invariant); transition counts
- * are not.
+ * --expect-states N, --max-seconds S, --max-rss-mb N,
+ * --json [PATH].  `--ws` selects the work-stealing schedule: verdict
+ * lines are unchanged (states, diameters and verdicts are
+ * schedule-invariant); transition counts are not.
  *
  * Exit status: 0 when every run matches its scenario's expectation
- * (holds, or reaches the expected violation family), 1 on a
- * mismatch, 2 on usage errors.
+ * (holds, or reaches the expected violation family) — or stopped
+ * early under a user-requested budget/cap/Ctrl-C, reporting the
+ * explored prefix as INCOMPLETE — 1 on a mismatch, 2 on usage
+ * errors.
  */
 
 #include <cstdio>
@@ -42,6 +44,21 @@ using namespace cxl;
 
 namespace
 {
+
+/**
+ * True when an Incomplete verdict is the outcome the user signed up
+ * for: an explicit --max-states cap, a wall-clock/memory budget, or
+ * their own Ctrl-C.  Such runs report the explored prefix and exit 0.
+ */
+bool
+requestedStop(const cxl::api::StandardOptions &opts,
+              const CheckResult &res)
+{
+    if (res.verdict != CheckResult::Verdict::Incomplete)
+        return false;
+    return opts.userCapped || opts.userBudgeted ||
+           res.stopReason == StopReason::Cancelled;
+}
 
 /** True when @p res is what the registry entry promises. */
 bool
@@ -97,7 +114,8 @@ main(int argc, char **argv)
             req.devices = e.deviceScalable ? opts.devices
                                            : e.fixedDevices;
             CheckResult res = session.run(req);
-            const bool ok = asExpected(e, res);
+            const bool ok =
+                asExpected(e, res) || requestedStop(opts, res);
             all_ok &= ok;
             std::printf("%s: %s%s\n", e.name.c_str(),
                         res.verdictText().c_str(),
@@ -147,10 +165,7 @@ main(int argc, char **argv)
         writeJsonFile(opts.jsonPath, json);
     }
 
-    const bool ok =
-        asExpected(*entry, res) ||
-        (opts.userCapped &&
-         res.verdict == CheckResult::Verdict::Incomplete);
+    const bool ok = asExpected(*entry, res) || requestedStop(opts, res);
     if (entry->expectViolation) {
         std::printf("expected violation in family '%s': %s\n",
                     entry->expectedViolationFamily.c_str(),

@@ -18,18 +18,29 @@
  * device count, --threads N sets the parallel portfolio arms' worker
  * count, --max-states N overrides the free-run state cap (default
  * 20000).  --no-minimize promotes unminimized cases (debugging aid).
+ * --max-seconds S is a *global* budget: the fuzz/replay loop stops
+ * between cases when it runs out (with a diagnostic — a truncated run
+ * covers a prefix of the deterministic stream, so its corpus is a
+ * prefix too, not comparable to a full run's).  --arm-max-seconds S
+ * budgets each oracle arm; arms that exceed it are quarantined and
+ * reported, never silently compared.  SIGINT/SIGTERM stop the loop
+ * the same graceful way.
  *
  * Determinism: the generated stream depends only on --seed, --budget,
  * --devices and the starting corpus; stored signatures come from the
  * single-threaded reference combination, so two identical invocations
  * produce byte-identical corpus files and MANIFEST.txt regardless of
- * --threads (the fixed-seed CI job diffs exactly that).
+ * --threads (the fixed-seed CI job diffs exactly that).  Wall-clock
+ * budgets trade that away: never pass --max-seconds/--arm-max-seconds
+ * to a run whose corpus will be diffed.
  *
  * Exit status: 0 clean, 1 divergence / replay drift, 2 usage errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <set>
 #include <string>
 #include <vector>
@@ -59,6 +70,77 @@ printReport(const OracleReport &report, const FuzzCase &c)
     std::printf("  repro: %s\n", c.renderJson().c_str());
 }
 
+/** Budget-stopped arms are excluded from the cross-checks; say so. */
+void
+printQuarantined(const OracleReport &report)
+{
+    for (const std::string &q : report.quarantined)
+        std::printf("  QUARANTINED arm %s (excluded from "
+                    "cross-checks)\n",
+                    q.c_str());
+}
+
+/**
+ * Corpus files are external input: a malformed entry is a usage
+ * error that names the offending file, not an uncaught exception.
+ */
+std::vector<CorpusEntry>
+loadCorpusOrDie(const std::string &dir)
+{
+    try {
+        return loadCorpus(dir);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot load corpus: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/**
+ * Global loop budget: `--max-seconds` plus the SIGINT/SIGTERM token,
+ * checked between cases so the fuzzer stops at a case boundary with
+ * its corpus and manifest intact.
+ */
+struct LoopBudget {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    double maxSeconds = 0;
+    CancelToken cancel;
+
+    /** Non-null stop description once the budget is gone. */
+    const char *stopWhy() const
+    {
+        if (cancel.valid() && cancel.cancelled())
+            return "cancelled (SIGINT/SIGTERM)";
+        if (maxSeconds > 0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= maxSeconds) {
+            return "global --max-seconds budget exhausted";
+        }
+        return nullptr;
+    }
+};
+
+/** Parse `--arm-max-seconds` (0 = none); exits 2 on junk. */
+double
+armBudgetOption(const CliArgs &args)
+{
+    if (!args.has("arm-max-seconds"))
+        return 0;
+    const std::string raw = args.get("arm-max-seconds", "");
+    char *end = nullptr;
+    const double secs = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+        !(secs > 0)) {
+        std::fprintf(stderr,
+                     "--arm-max-seconds '%s' out of range (want a "
+                     "positive number of seconds)\n",
+                     raw.c_str());
+        std::exit(2);
+    }
+    return secs;
+}
+
 std::vector<std::size_t>
 parseThreadList(const std::string &text)
 {
@@ -81,9 +163,10 @@ parseThreadList(const std::string &text)
 }
 
 int
-runReplay(const std::string &corpusDir, const CliArgs &args)
+runReplay(const std::string &corpusDir, const CliArgs &args,
+          const api::StandardOptions &opts)
 {
-    const std::vector<CorpusEntry> corpus = loadCorpus(corpusDir);
+    const std::vector<CorpusEntry> corpus = loadCorpusOrDie(corpusDir);
     if (corpus.empty()) {
         std::printf("corpus %s is empty; nothing to replay\n",
                     corpusDir.c_str());
@@ -96,11 +179,24 @@ runReplay(const std::string &corpusDir, const CliArgs &args)
 
     OracleOptions oopt;
     oopt.portfolio = replayPortfolio(counts);
+    oopt.armMaxSeconds = armBudgetOption(args);
     const Oracle oracle(std::move(oopt));
 
+    const LoopBudget budget{std::chrono::steady_clock::now(),
+                            opts.engine.maxSeconds,
+                            opts.engine.cancel};
     bool bad = false;
+    std::size_t replayed = 0;
     for (const CorpusEntry &entry : corpus) {
+        if (const char *why = budget.stopWhy()) {
+            std::printf("replay stopped early (%s) after %zu/%zu "
+                        "cases; the rest are UNVERIFIED\n",
+                        why, replayed, corpus.size());
+            break;
+        }
         const OracleReport report = oracle.check(entry.fuzzCase);
+        ++replayed;
+        printQuarantined(report);
         const bool drift =
             report.reference.key() != entry.signature.key();
         if (drift) {
@@ -116,14 +212,24 @@ runReplay(const std::string &corpusDir, const CliArgs &args)
             printReport(report, entry.fuzzCase);
         }
         if (!drift && !report.diverged()) {
-            std::printf("%s: ok (%s, %zu combos)\n",
-                        report.caseName.c_str(),
-                        report.reference.key().c_str(),
-                        report.runs.size());
+            if (report.quarantined.empty()) {
+                std::printf("%s: ok (%s, %zu combos)\n",
+                            report.caseName.c_str(),
+                            report.reference.key().c_str(),
+                            report.runs.size());
+            } else {
+                std::printf("%s: ok (%s, %zu combos, %zu "
+                            "quarantined)\n",
+                            report.caseName.c_str(),
+                            report.reference.key().c_str(),
+                            report.runs.size(),
+                            report.quarantined.size());
+            }
         }
     }
-    std::printf("replayed %zu corpus cases across %zu combos: %s\n",
-                corpus.size(), oracle.options().portfolio.size() + 1,
+    std::printf("replayed %zu/%zu corpus cases across %zu combos: %s\n",
+                replayed, corpus.size(),
+                oracle.options().portfolio.size() + 1,
                 bad ? "FAILED" : "all stable");
     return bad ? 1 : 0;
 }
@@ -131,7 +237,7 @@ runReplay(const std::string &corpusDir, const CliArgs &args)
 int
 runMinimize(const std::string &corpusDir)
 {
-    std::vector<CorpusEntry> corpus = loadCorpus(corpusDir);
+    std::vector<CorpusEntry> corpus = loadCorpusOrDie(corpusDir);
     std::size_t shrunk = 0;
     for (CorpusEntry &entry : corpus) {
         MinimizeStats stats;
@@ -173,7 +279,7 @@ main(int argc, char **argv)
                          "--replay/--minimize need --corpus DIR\n");
             return 2;
         }
-        return args.has("replay") ? runReplay(corpusDir, args)
+        return args.has("replay") ? runReplay(corpusDir, args, opts)
                                   : runMinimize(corpusDir);
     }
 
@@ -194,7 +300,7 @@ main(int argc, char **argv)
     std::set<std::string> seenCases;
     std::set<std::string> seenNovelty;
     if (!corpusDir.empty()) {
-        corpus = loadCorpus(corpusDir);
+        corpus = loadCorpusOrDie(corpusDir);
         for (const CorpusEntry &entry : corpus) {
             gen.addSeed(entry.fuzzCase);
             seenCases.insert(entry.fuzzCase.name());
@@ -206,11 +312,26 @@ main(int argc, char **argv)
     // The parallel portfolio arms run at --threads workers (0 = one
     // per hardware thread, like every other harness).
     oopt.portfolio = fullPortfolio(opts.engine.threads);
+    oopt.armMaxSeconds = armBudgetOption(args);
     const Oracle oracle(std::move(oopt));
 
+    const LoopBudget timebox{std::chrono::steady_clock::now(),
+                             opts.engine.maxSeconds,
+                             opts.engine.cancel};
     const bool minimizePromoted = !args.has("no-minimize");
     std::uint64_t ran = 0, skipped = 0, diverged = 0, promoted = 0;
     for (std::uint64_t i = 0; i < budget; ++i) {
+        if (const char *why = timebox.stopWhy()) {
+            // A truncated run explored a *prefix* of the
+            // deterministic case stream: its corpus/manifest are
+            // intact and replayable, but not diffable against a
+            // full --budget run's.
+            std::printf("fuzz stopped early (%s) after %llu of %llu "
+                        "budgeted cases\n",
+                        why, static_cast<unsigned long long>(i),
+                        static_cast<unsigned long long>(budget));
+            break;
+        }
         const FuzzCase c = gen.next();
         if (!seenCases.insert(c.name()).second) {
             ++skipped; // duplicate of an earlier case this run
@@ -218,6 +339,7 @@ main(int argc, char **argv)
         }
         const OracleReport report = oracle.check(c);
         ++ran;
+        printQuarantined(report);
         if (report.diverged()) {
             ++diverged;
             printReport(report, c);

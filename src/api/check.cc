@@ -93,8 +93,12 @@ CheckResult::verdictText() const
                       violation ? violation->depth : 0);
         break;
       case Verdict::Incomplete:
-        std::snprintf(buf, sizeof(buf),
-                      "INCOMPLETE (maxStates cap hit)");
+        // Results that predate the governor carry StopReason::None;
+        // the only early stop back then was the state cap.
+        std::snprintf(buf, sizeof(buf), "INCOMPLETE (stopped: %s)",
+                      stopReasonPhrase(stopReason == StopReason::None
+                                           ? StopReason::StateCap
+                                           : stopReason));
         break;
     }
     return buf;
@@ -129,6 +133,17 @@ CheckResult::renderText(bool withTrace) const
         seconds,
         seconds > 0 ? static_cast<double>(states) / seconds : 0.0);
     out += line;
+    if (verdict == Verdict::Incomplete) {
+        std::snprintf(
+            line, sizeof(line),
+            "partial run: stopped by %s; levels 0..%u fully "
+            "expanded\n",
+            stopReasonPhrase(stopReason == StopReason::None
+                                 ? StopReason::StateCap
+                                 : stopReason),
+            deepestCompleteLevel);
+        out += line;
+    }
     if (verdict == Verdict::Incomplete && threads > 1) {
         // A parallel capped run stops at a thread-dependent point:
         // the soft maxStates cap may be overshot by up to one state
@@ -205,6 +220,12 @@ CheckResult::renderJson() const
         .num("slept_transitions", sleptTransitions)
         .num("diameter", static_cast<std::uint64_t>(diameter))
         .boolean("completed", completed)
+        .raw("stop_reason",
+             stopReason == StopReason::None
+                 ? "null"
+                 : JsonObject::quote(stopReasonWord(stopReason)))
+        .num("deepest_complete_level",
+             static_cast<std::uint64_t>(deepestCompleteLevel))
         .num("seconds", seconds)
         .num("states_per_sec",
              seconds > 0 ? static_cast<double>(states) / seconds : 0.0)
@@ -381,6 +402,10 @@ CheckSession::run(const CheckRequest &request)
     opt.checkInvariants = request.checks != CheckKind::Deadlock;
     opt.checkDeadlock = request.checks != CheckKind::Invariants;
     opt.stopAtFirstViolation = engine.stopAtFirstViolation;
+    opt.maxSeconds = engine.maxSeconds;
+    opt.maxRssBytes = engine.maxRssBytes;
+    opt.cancel = engine.cancel;
+    opt.storeCapacity = engine.storeCapacity;
 
     Explorer explorer(model.rules, resolved.scenario, invariants);
     const std::uint64_t rss_before = currentRssBytes();
@@ -407,6 +432,8 @@ CheckSession::run(const CheckRequest &request)
     out.seconds = res.seconds;
     out.probeCollisions = res.probeCollisions;
     out.sleptTransitions = res.sleptTransitions;
+    out.stopReason = res.stopReason;
+    out.deepestCompleteLevel = res.deepestCompleteLevel;
     out.rssDeltaBytes =
         rss_after > rss_before ? rss_after - rss_before : 0;
 

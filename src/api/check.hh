@@ -103,6 +103,24 @@ struct EngineOptions {
     std::uint64_t expectedStates = 0;
 
     bool stopAtFirstViolation = true;
+
+    /** Wall-clock budget in seconds (`--max-seconds`; 0 = none).
+     * Exceeding it ends the run gracefully as Incomplete with
+     * stopReason Deadline. */
+    double maxSeconds = 0;
+
+    /** Process RSS ceiling in bytes (`--max-rss-mb`; 0 = none);
+     * crossing it ends the run as Incomplete with stopReason
+     * Memory. */
+    std::uint64_t maxRssBytes = 0;
+
+    /** Cooperative cancellation (the CLIs wire SIGINT/SIGTERM to
+     * this); an invalid token means not cancellable. */
+    CancelToken cancel;
+
+    /** Visited-set capacity ceiling (0 = architectural); hitting it
+     * stops gracefully with stopReason ShardFull. */
+    std::uint64_t storeCapacity = 0;
 };
 
 /** One verification request. */
@@ -162,7 +180,7 @@ struct CheckResult {
         Holds,      ///< exploration complete, no violation
         Violated,   ///< an invariant conjunct or channel cap failed
         Deadlocked, ///< a program wedged before retiring
-        Incomplete, ///< state cap hit before completion
+        Incomplete, ///< a budget stopped the run (see stopReason)
     };
 
     // ---- request echo (resolved) -------------------------------------
@@ -201,6 +219,14 @@ struct CheckResult {
     /** Firings pruned by POR; transitions + sleptTransitions is the
      * unreduced fan-out of the same state space. */
     std::uint64_t sleptTransitions = 0;
+
+    /** Why the governor ended the run early (None when it completed
+     * or stopped at a violation); see ExploreResult::stopReason. */
+    StopReason stopReason = StopReason::None;
+
+    /** Deepest BFS level known fully expanded when the run ended;
+     * see ExploreResult::deepestCompleteLevel. */
+    std::uint32_t deepestCompleteLevel = 0;
 
     // ---- verdict -----------------------------------------------------
     Verdict verdict = Verdict::Incomplete;

@@ -52,6 +52,42 @@ standardOptions(const CliArgs &args, const char *defaultJsonPath)
         opt.engine.expectedStates =
             static_cast<std::uint64_t>(expect);
 
+    if (args.has("max-seconds")) {
+        const std::string raw = args.get("max-seconds", "");
+        char *end = nullptr;
+        const double secs = std::strtod(raw.c_str(), &end);
+        if (raw.empty() || end == raw.c_str() || *end != '\0' ||
+            !(secs > 0)) {
+            std::fprintf(stderr,
+                         "--max-seconds '%s' out of range (want a "
+                         "positive number of seconds)\n",
+                         raw.c_str());
+            std::exit(2);
+        }
+        opt.engine.maxSeconds = secs;
+        opt.userBudgeted = true;
+    }
+
+    if (args.has("max-rss-mb")) {
+        const std::int64_t mb = args.getInt("max-rss-mb", 0);
+        if (mb < 1) {
+            std::fprintf(stderr,
+                         "--max-rss-mb %lld out of range (want >= 1)\n",
+                         static_cast<long long>(mb));
+            std::exit(2);
+        }
+        opt.engine.maxRssBytes =
+            static_cast<std::uint64_t>(mb) * 1024 * 1024;
+        opt.userBudgeted = true;
+    }
+
+    // One process-wide token shared by every standardOptions call:
+    // re-parsing (sweep harnesses build several sessions) must not
+    // orphan the token the signal handler is bound to.
+    static const CancelToken process_cancel = CancelToken::create();
+    opt.engine.cancel = process_cancel;
+    installSignalCancel(process_cancel);
+
     if (args.has("json")) {
         opt.json = true;
         opt.jsonPath = args.get("json", "1");

@@ -4,9 +4,12 @@
  * helper resolves the flags every binary used to re-plumb by hand —
  * `--devices`, `--threads`, `--sym`/`--no-sym`, `--compact`,
  * `--por`/`--no-por`, `--ws`/`--bfs`, `--max-states`,
- * `--expect-states`, `--json` —
+ * `--expect-states`, `--max-seconds`, `--max-rss-mb`, `--json` —
  * into a device count plus the EngineOptions a CheckSession is
- * constructed with.
+ * constructed with.  It also arms the process-wide SIGINT/SIGTERM →
+ * CancelToken bridge, so every front-end gets graceful Ctrl-C for
+ * free: the run ends as Incomplete (stop_reason "cancelled") with
+ * its explored-prefix counts instead of dying mid-print.
  */
 
 #ifndef CXL_API_OPTIONS_HH
@@ -31,6 +34,15 @@ struct StandardOptions {
      * than failing for not finishing (swmr_statespace semantics).
      */
     bool userCapped = false;
+
+    /**
+     * True when the user passed `--max-seconds` or `--max-rss-mb`:
+     * like userCapped, a budget-stopped Incomplete verdict is then
+     * the requested behaviour, not a failure.  Kept separate from
+     * userCapped because harnesses use that flag to substitute the
+     * explicit cap into engine defaults (cxl_fuzz's freeRunCap).
+     */
+    bool userBudgeted = false;
 
     /** `--json [PATH]` given; path defaults per harness. */
     bool json = false;

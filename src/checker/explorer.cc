@@ -213,11 +213,19 @@ Explorer::runBfs(const ExploreOptions &options)
         por.emplace(rules_, options.symmetryReduction,
                     options.canonicaliseTids);
 
-    StateStore store(1 << 16, options.compaction ? StoreMode::Compact
-                                                 : StoreMode::Full);
+    StateStore store(1 << 16,
+                     options.compaction ? StoreMode::Compact
+                                        : StoreMode::Full,
+                     options.storeCapacity);
     if (options.expectedStates != 0)
         store.reserveStates(options.expectedStates);
     Context ctx{&scenario_};
+
+    // One stop word for the whole run: maxStates, the wall-clock and
+    // RSS budgets, external cancellation and shard-full all trip it,
+    // and workers drain within one batch of a trip.
+    RunGovernor governor(
+        {options.maxSeconds, options.maxRssBytes, options.cancel});
 
     auto symmetry_canon = [&options](SystemState &s) {
         if (!options.symmetryReduction)
@@ -323,7 +331,7 @@ Explorer::runBfs(const ExploreOptions &options)
     std::optional<ThreadPool> pool;
 
     std::uint32_t depth = 0;
-    bool cap_stopped = false;
+    bool governed_stop = false;
     bool violation_stopped = false;
 
     // Batches this close to maxStates flush per successor, which
@@ -349,8 +357,16 @@ Explorer::runBfs(const ExploreOptions &options)
             break;
         }
 
+        // Budgets can expire between levels too (tiny levels flush
+        // rarely), and a pre-cancelled token must stop before any
+        // expansion.
+        governor.poll();
+        if (governor.stopped()) {
+            governed_stop = true;
+            break;
+        }
+
         std::atomic<std::size_t> cursor{0};
-        std::atomic<bool> cap_hit{false};
 
         // Claim granularity: fine enough that a level spreads over
         // all workers, coarse enough that the claim counter is not a
@@ -404,6 +420,9 @@ Explorer::runBfs(const ExploreOptions &options)
             }
             ws.batch.clear();
             ws.batchMeta.clear();
+            // Budget check rides the flush: once per <= kFlushBatch
+            // successors per worker.
+            governor.poll();
         };
 
         auto workLevel = [&](WorkerScratch &ws) {
@@ -412,7 +431,7 @@ Explorer::runBfs(const ExploreOptions &options)
             // buffer; full mode reads the arena slot in place.
             SystemState decode_buf;
             for (;;) {
-                if (cap_hit.load(std::memory_order_relaxed))
+                if (governor.stopped())
                     return;
                 std::size_t begin =
                     cursor.fetch_add(grain, std::memory_order_relaxed);
@@ -515,11 +534,10 @@ Explorer::runBfs(const ExploreOptions &options)
                                 soft_cap ||
                             ws.batch.size() >= kFlushBatch) {
                             flushBatch(ws, wctx);
-                            if (store.size() >= options.maxStates) {
-                                cap_hit.store(
-                                    true, std::memory_order_relaxed);
+                            if (store.size() >= options.maxStates)
+                                governor.trip(StopReason::StateCap);
+                            if (governor.stopped())
                                 return;
-                            }
                         }
                     }
                 }
@@ -530,12 +548,24 @@ Explorer::runBfs(const ExploreOptions &options)
         auto work = [&](WorkerScratch &ws) {
             try {
                 workLevel(ws);
+            } catch (const StoreFullError &) {
+                // A full shard is a governed stop, not an error: the
+                // store still holds a valid explored prefix.  The
+                // interrupted batch is dropped whole (insertBatch may
+                // have stopped mid-way, leaving item ids half
+                // filled), so no post-insert work runs on it.
+                ws.batch.clear();
+                ws.batchMeta.clear();
+                ws.overflows.clear();
+                governor.trip(StopReason::ShardFull);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!worker_error)
                     worker_error = std::current_exception();
-                // Make peers drain their claims promptly.
-                cap_hit.store(true, std::memory_order_relaxed);
+                // Make peers drain their claims promptly; the rethrow
+                // below surfaces the real error before the stop
+                // reason could be reported.
+                governor.trip(StopReason::InternalError);
             }
         };
 
@@ -587,9 +617,9 @@ Explorer::runBfs(const ExploreOptions &options)
             if (options.stopAtFirstViolation)
                 violation_stopped = true;
         }
-        if (cap_hit.load(std::memory_order_relaxed))
-            cap_stopped = true;
-        if (violation_stopped || cap_stopped)
+        if (governor.stopped())
+            governed_stop = true;
+        if (violation_stopped || governed_stop)
             break;
 
         if (options.por) {
@@ -646,7 +676,19 @@ Explorer::runBfs(const ExploreOptions &options)
     result.numStates = store.size();
     result.probeCollisions = store.probeCollisions();
     result.completed =
-        frontier.empty() && !cap_stopped && !violation_stopped;
+        frontier.empty() && !governed_stop && !violation_stopped;
+    result.stopReason = governed_stop ? governor.reason()
+                                      : StopReason::None;
+    // Deepest fully-expanded level: every level is drained before
+    // the barrier, so a violation stop still finished level `depth`;
+    // a governed stop interrupted it (level depth-1 was the last one
+    // finished); a completed run expanded everything.
+    if (governed_stop)
+        result.deepestCompleteLevel = depth > 0 ? depth - 1 : 0;
+    else if (violation_stopped)
+        result.deepestCompleteLevel = depth;
+    else
+        result.deepestCompleteLevel = result.maxDepth;
     return finish(result);
 }
 

@@ -38,6 +38,7 @@
 #include "invariants/invariant.hh"
 #include "protocol/rules.hh"
 #include "protocol/scenario.hh"
+#include "support/governor.hh"
 
 namespace cxl
 {
@@ -131,6 +132,36 @@ struct ExploreOptions {
      * (program mode only; free-run states always have successors).
      */
     bool checkDeadlock = true;
+
+    /**
+     * Wall-clock budget in seconds (0 = none).  A run that exceeds
+     * it stops gracefully at batch-flush granularity and reports the
+     * explored prefix with StopReason::Deadline.  Where the stop
+     * lands is wall-clock-dependent by design — deadline-stopped
+     * counts are not reproducible.
+     */
+    double maxSeconds = 0;
+
+    /**
+     * Resident-set ceiling in bytes (0 = none), sampled from
+     * /proc/self/statm by the governor at flush granularity.  The
+     * ceiling is process-wide RSS, not per-run allocation, and the
+     * stop is detected one sample stride after the crossing — treat
+     * it as a safety net, not an exact budget.
+     */
+    std::uint64_t maxRssBytes = 0;
+
+    /** External cancellation (SIGINT/SIGTERM via the CLIs, or any
+     * other holder of the token); invalid token = not cancellable. */
+    CancelToken cancel;
+
+    /**
+     * Total visited-set capacity (0 = the architectural 2^28 per
+     * shard).  Hitting it stops the run gracefully with
+     * StopReason::ShardFull instead of erroring — and makes the
+     * shard-full path testable at toy sizes.
+     */
+    std::uint64_t storeCapacity = 0;
 
     /**
      * Worker threads for the depth-synchronized parallel expansion;
@@ -233,6 +264,26 @@ struct ExploreResult {
 
     /** Per-rule slept-firing counts, indexed by rule id (por only). */
     std::vector<std::uint64_t> ruleSleptCounts;
+
+    /**
+     * Why the governor stopped the run (StopReason::None when it
+     * completed or stopped at a violation).  Every stop cause — cap,
+     * deadline, memory, cancel, shard-full — lands here instead of
+     * surfacing as an exception, and the counts above describe the
+     * explored prefix exactly.
+     */
+    StopReason stopReason = StopReason::None;
+
+    /**
+     * Deepest BFS level known to be *fully* expanded when the run
+     * ended: maxDepth for completed (and violation-stopped) runs; on
+     * a governed stop, the last level every worker finished before
+     * the stop word tripped (conservative under the work-stealing
+     * schedule, where levels interleave).  States at or below this
+     * level have had every successor generated, so per-level facts
+     * up to here are trustworthy even in a partial result.
+     */
+    std::uint32_t deepestCompleteLevel = 0;
 };
 
 /**

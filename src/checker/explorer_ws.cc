@@ -295,11 +295,19 @@ Explorer::runWorkSteal(const ExploreOptions &options)
         por.emplace(rules_, options.symmetryReduction,
                     options.canonicaliseTids);
 
-    StateStore store(1 << 16, options.compaction ? StoreMode::Compact
-                                                 : StoreMode::Full);
+    StateStore store(1 << 16,
+                     options.compaction ? StoreMode::Compact
+                                        : StoreMode::Full,
+                     options.storeCapacity);
     if (options.expectedStates != 0)
         store.reserveStates(options.expectedStates);
     Context ctx{&scenario_};
+
+    // The run's stop word (see explorer.cc): every budget and the
+    // maxStates cap trip it; workers check it at claim granularity
+    // and poll the budgets at flush granularity.
+    RunGovernor governor(
+        {options.maxSeconds, options.maxRssBytes, options.cancel});
 
     auto symmetry_canon = [&options](SystemState &s) {
         if (!options.symmetryReduction)
@@ -391,9 +399,6 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     // work; see the file comment).
     std::atomic<std::int64_t> expand_limit{
         static_cast<std::int64_t>(options.maxDepth) - 1};
-
-    std::atomic<bool> stop{false};
-    bool cap_stopped = false;
 
     std::mutex error_mutex;
     std::exception_ptr worker_error;
@@ -522,7 +527,8 @@ Explorer::runWorkSteal(const ExploreOptions &options)
             ws.tasksDone = 0;
         }
         if (store.size() >= options.maxStates)
-            stop.store(true, std::memory_order_relaxed);
+            governor.trip(StopReason::StateCap);
+        governor.poll();
     };
 
     auto expand = [&](std::size_t t, WsScratch &ws, Context &wctx,
@@ -641,7 +647,7 @@ Explorer::runWorkSteal(const ExploreOptions &options)
             }
         };
         for (;;) {
-            if (stop.load(std::memory_order_relaxed))
+            if (governor.stopped())
                 return;
             std::uint64_t task;
             if (!take_own(task)) {
@@ -684,17 +690,34 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     };
 
     auto guarded_worker = [&](std::size_t t) {
+        WsScratch &ws = scratch[t];
         try {
             worker(t);
+        } catch (const StoreFullError &) {
+            // Governed stop, not an error (see explorer.cc): drop
+            // the interrupted batch whole — insertBatch may have
+            // filled only some item ids — and let peers drain on the
+            // stop word.  The pending counter is left stale, which
+            // is fine: workers exit on the stop word, not on
+            // quiescence.
+            ws.batch.clear();
+            ws.batchPerm.clear();
+            ws.batchNode.clear();
+            ws.nodeMasks.clear();
+            ws.overflows.clear();
+            governor.trip(StopReason::ShardFull);
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!worker_error)
                 worker_error = std::current_exception();
-            stop.store(true, std::memory_order_relaxed);
+            governor.trip(StopReason::InternalError);
         }
     };
 
-    // Seed and run to quiescence.
+    // Seed and run to quiescence (or to the first tripped budget —
+    // the pre-seed poll catches an already-cancelled token or an
+    // already-exceeded ceiling before any expansion).
+    governor.poll();
     pending.store(1, std::memory_order_relaxed);
     deques[0]->push(packTask(init_idx, 0));
 
@@ -709,8 +732,37 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     }
     if (worker_error)
         std::rethrow_exception(worker_error);
-    if (stop.load(std::memory_order_relaxed))
-        cap_stopped = true;
+    const bool cap_stopped = governor.stopped();
+
+    // On a governed stop the deques and scratch batches still hold
+    // unexpanded work; the deepest level known fully expanded is one
+    // below the shallowest of it.  (Quiescent: workers are gone, so
+    // steal() only aborts on its own races — retry until Empty.)
+    std::uint32_t min_unexpanded = 0xffffffffu;
+    if (cap_stopped) {
+        for (std::size_t t = 0; t < threads; ++t) {
+            for (;;) {
+                std::uint64_t task;
+                const auto got = deques[t]->steal(task);
+                if (got == WorkDeque::Steal::Empty)
+                    break;
+                if (got == WorkDeque::Steal::Abort)
+                    continue;
+                min_unexpanded =
+                    std::min(min_unexpanded,
+                             store.depthAt(taskId(task)));
+            }
+            // Unflushed successors: their source (depth-1) was
+            // expanded but the results were dropped, so that level
+            // is not fully expanded either.
+            for (const StateStore::BatchItem &item :
+                 scratch[t].batch) {
+                min_unexpanded = std::min(
+                    min_unexpanded,
+                    item.depth > 0 ? item.depth - 1 : 0);
+            }
+        }
+    }
 
     // Atomic-free merge of the per-worker scratch: counters,
     // rule-fire profiles and violation candidates fold pairwise in
@@ -809,6 +861,16 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     }
     result.probeCollisions = store.probeCollisions();
     result.completed = !cap_stopped && !violation_stopped;
+    result.stopReason =
+        cap_stopped ? governor.reason() : StopReason::None;
+    if (cap_stopped) {
+        result.deepestCompleteLevel =
+            min_unexpanded == 0xffffffffu
+                ? result.maxDepth
+                : (min_unexpanded > 0 ? min_unexpanded - 1 : 0);
+    } else {
+        result.deepestCompleteLevel = result.maxDepth;
+    }
     return finish(result);
 }
 

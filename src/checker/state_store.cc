@@ -118,12 +118,24 @@ decodeCell(const std::byte *cell, SystemState &out)
 
 } // namespace
 
-StateStore::StateStore(std::size_t initial_buckets, StoreMode mode)
+StateStore::StateStore(std::size_t initial_buckets, StoreMode mode,
+                       std::uint64_t capacity_limit)
     : mode_(mode)
 {
     const std::size_t per_shard =
         pow2AtLeast(initial_buckets / kNumShards);
+    // The per-shard ceiling from a total-state capacity: hashing
+    // spreads entries near-uniformly, so the first shard to fill does
+    // so at roughly capacity/kNumShards — close enough for a budget.
+    std::uint32_t limit = kOffsetMask;
+    if (capacity_limit != 0) {
+        const std::uint64_t per =
+            std::max<std::uint64_t>(1, capacity_limit / kNumShards);
+        limit = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(per, kOffsetMask));
+    }
     for (Shard &shard : shards_) {
+        shard.limit = limit;
         shard.buckets.assign(per_shard, 0);
         shard.mask = per_shard - 1;
         // Fully reserve the arena (and offset-column) spines: they
@@ -307,9 +319,16 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
     }
 
     // kOffsetMask itself is unusable: shard kNumShards-1 would pack
-    // it to the kNoParent sentinel.
-    if (shard.count >= kOffsetMask)
-        throw std::length_error("StateStore shard full");
+    // it to the kNoParent sentinel.  The per-run limit (when set) is
+    // always <= that.
+    if (shard.count >= shard.limit) {
+        throw StoreFullError(
+            shard_idx,
+            "StateStore shard " + std::to_string(shard_idx) +
+                " full (" + std::to_string(shard.limit) +
+                " entries); pre-size with --expect-states or switch "
+                "to the hash-compacted store (--compact)");
+    }
 
     const std::uint32_t off = shard.count++;
     shard.hashes.push_back(hash);
@@ -339,9 +358,15 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
         std::uint64_t at = shard.byteCursor;
         if ((at & (kByteBlockSize - 1)) + enc_len > kByteBlockSize)
             at = (at | (kByteBlockSize - 1)) + 1;
-        if (at + enc_len > (std::uint64_t{1} << 32))
-            throw std::length_error(
-                "StateStore compact arena offset space exhausted");
+        if (at + enc_len > (std::uint64_t{1} << 32)) {
+            throw StoreFullError(
+                shard_idx,
+                "StateStore shard " + std::to_string(shard_idx) +
+                    " compact arena offset space exhausted (4 GiB of "
+                    "encoded frontier); pre-size with "
+                    "--expect-states so sealing keeps up, or lower "
+                    "the run's budgets");
+        }
         const std::uint32_t block =
             static_cast<std::uint32_t>(at >> kByteBlockBits);
         while (block >= shard.blocks.size())

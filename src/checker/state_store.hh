@@ -63,6 +63,8 @@
 #include <memory>
 #include <mutex>
 #include <new>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -75,6 +77,31 @@ namespace cxl
 enum class StoreMode : std::uint8_t {
     Full,    ///< keep every state; exact dedup; traces reconstructible
     Compact, ///< hash compaction: 64-bit fingerprints instead of states
+};
+
+/**
+ * A StateStore shard ran out of room: its entry count reached the
+ * capacity limit (architectural 2^28 per shard, or the smaller
+ * per-run limit derived from ExploreOptions::storeCapacity), or a
+ * compact-mode shard exhausted its 32-bit arena offset space.  The
+ * explorers catch this and convert it into a graceful governed stop
+ * (StopReason::ShardFull) — the explored prefix stays a valid
+ * partial result.  what() names the shard and suggests
+ * `--expect-states`/`--compact`.
+ */
+class StoreFullError : public std::length_error
+{
+  public:
+    StoreFullError(std::uint32_t shard, const std::string &what)
+        : std::length_error(what), shard_(shard)
+    {
+    }
+
+    /** Index of the shard that filled first. */
+    std::uint32_t shard() const { return shard_; }
+
+  private:
+    std::uint32_t shard_;
 };
 
 /** Sharded dense store of deduplicated states with BFS breadcrumbs. */
@@ -141,9 +168,17 @@ class StateStore
     /**
      * @param initial_buckets total bucket hint, split across shards.
      * @param mode Full (default) or Compact storage.
+     * @param capacity_limit total-state ceiling enforced per shard
+     *        (each shard holds at most
+     *        max(1, capacity_limit / kNumShards) entries; inserts
+     *        beyond that throw StoreFullError).  0 means the
+     *        architectural per-shard maximum.  Exists so the
+     *        shard-full path is testable without 2^28 inserts, and
+     *        as the contract point for out-of-core stores.
      */
     explicit StateStore(std::size_t initial_buckets = 1 << 16,
-                        StoreMode mode = StoreMode::Full);
+                        StoreMode mode = StoreMode::Full,
+                        std::uint64_t capacity_limit = 0);
 
     StateStore(const StateStore &) = delete;
     StateStore &operator=(const StateStore &) = delete;
@@ -344,6 +379,8 @@ class StateStore
         std::vector<std::uint32_t> buckets;
         std::uint64_t mask = 0;
         std::uint32_t count = 0;
+        /** Entry ceiling; inserting past it throws StoreFullError. */
+        std::uint32_t limit = kOffsetMask;
         std::uint64_t collisions = 0;
     };
 

@@ -199,12 +199,29 @@ Oracle::check(const FuzzCase &c) const
         CheckRequest req = c.toRequest();
         EngineOptions opt = combo.engineOptions();
         opt.maxStates = c.maxStates;
+        opt.maxSeconds = options_.armMaxSeconds;
         req.engine = opt;
         const CheckResult result = session.run(req);
         ComboRun run;
         run.combo = combo;
         run.sig = signatureOf(result, capped);
         run.verdictLine = result.verdictText();
+        // A budget-stopped arm is undecided at a wall-clock-dependent
+        // point: its signature already reads "incomplete" (so every
+        // cross-check skips it), but record *why* so the front-ends
+        // report the arm as quarantined rather than silently passed.
+        switch (result.stopReason) {
+          case StopReason::Deadline:
+          case StopReason::Memory:
+          case StopReason::Cancelled:
+          case StopReason::ShardFull:
+            report.quarantined.push_back(
+                combo.label() + ": " +
+                stopReasonPhrase(result.stopReason));
+            break;
+          default:
+            break;
+        }
         return run;
     };
 

@@ -93,6 +93,16 @@ struct OracleReport {
     std::vector<ComboRun> runs; ///< reference first
     std::vector<std::string> divergences;
 
+    /**
+     * Arms whose run a resource budget ended (armMaxSeconds, or an
+     * inherited memory/cancel limit), as "label: reason" lines.  A
+     * quarantined arm is *excluded* from every cross-check — an
+     * undecided prefix is not comparable — but never silently: the
+     * front-ends surface these lines so a hanging combination reads
+     * as "quarantined", not "passed".
+     */
+    std::vector<std::string> quarantined;
+
     bool diverged() const { return !divergences.empty(); }
 };
 
@@ -109,6 +119,19 @@ struct OracleOptions {
     bool randomWalkProbe = true;
     std::uint64_t walkWalks = 32;
     std::uint32_t walkSteps = 128;
+
+    /**
+     * Per-arm wall-clock budget in seconds (0 = none).  An arm that
+     * exceeds it is quarantined (OracleReport::quarantined) and left
+     * out of the cross-checks instead of hanging the whole oracle on
+     * one pathological engine combination.  Deadline stops land at
+     * wall-clock-dependent points, so any nonzero budget makes the
+     * portfolio outcome timing-sensitive — use it as a safety net
+     * (seconds, not milliseconds) for fuzzing sweeps, never for the
+     * stored reference signatures (referenceSignature() takes no
+     * budget and stays deterministic).
+     */
+    double armMaxSeconds = 0;
 
     /**
      * Tamper hook for the planted-divergence self-test: called on
