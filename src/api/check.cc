@@ -200,8 +200,11 @@ CheckResult::renderText(bool withTrace) const
 }
 
 std::string
-CheckResult::renderJson() const
+CheckResult::renderJson(bool deterministic) const
 {
+    // Deterministic mode zeroes the four wall-clock/allocator keys —
+    // and nothing else — so the key set and order stay schema-stable.
+    const double secs = deterministic ? 0.0 : seconds;
     JsonObject json;
     json.str("schema", "cxl-check-result/v1")
         .str("scenario", scenario)
@@ -226,9 +229,9 @@ CheckResult::renderJson() const
                  : JsonObject::quote(stopReasonWord(stopReason)))
         .num("deepest_complete_level",
              static_cast<std::uint64_t>(deepestCompleteLevel))
-        .num("seconds", seconds)
+        .num("seconds", secs)
         .num("states_per_sec",
-             seconds > 0 ? static_cast<double>(states) / seconds : 0.0)
+             secs > 0 ? static_cast<double>(states) / secs : 0.0)
         .str("verdict", verdictWord(verdict));
     if (violation) {
         const bool conj = violation->kind == Violation::Kind::Conjunct;
@@ -252,8 +255,9 @@ CheckResult::renderJson() const
             .raw("violation_depth", "null");
     }
     json.num("probe_hash_collisions", probeCollisions)
-        .num("peak_rss_bytes", peakRssBytes())
-        .num("rss_delta_bytes", rssDeltaBytes);
+        .num("peak_rss_bytes",
+             deterministic ? 0 : peakRssBytes())
+        .num("rss_delta_bytes", deterministic ? 0 : rssDeltaBytes);
     return json.render();
 }
 
@@ -298,10 +302,26 @@ CheckSession::modelFor(const ProtocolConfig &config, int devices)
         auto model = std::make_unique<Model>(Model{
             RuleSet(config, devices),
             InvariantSet::full(config, devices),
+            0,
         });
         it = models_.emplace(key, std::move(model)).first;
+    } else {
+        ++it->second->hits;
     }
     return *it->second;
+}
+
+std::vector<CheckSession::ModelCacheStat>
+CheckSession::modelCacheStats() const
+{
+    std::vector<ModelCacheStat> stats;
+    stats.reserve(models_.size());
+    for (const auto &[key, model] : models_) {
+        // Inverse of modelKey: devices above the 7 config bits.
+        stats.push_back({static_cast<int>(key >> 7), key & 0x7Fu,
+                         model->hits});
+    }
+    return stats;
 }
 
 const RuleSet &
@@ -406,6 +426,8 @@ CheckSession::run(const CheckRequest &request)
     opt.maxRssBytes = engine.maxRssBytes;
     opt.cancel = engine.cancel;
     opt.storeCapacity = engine.storeCapacity;
+    opt.progress = engine.progress;
+    opt.progressIntervalSeconds = engine.progressIntervalSeconds;
 
     Explorer explorer(model.rules, resolved.scenario, invariants);
     const std::uint64_t rss_before = currentRssBytes();

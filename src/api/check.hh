@@ -121,6 +121,15 @@ struct EngineOptions {
     /** Visited-set capacity ceiling (0 = architectural); hitting it
      * stops gracefully with stopReason ShardFull. */
     std::uint64_t storeCapacity = 0;
+
+    /** Periodic mid-run progress observer (empty = none); see
+     * ExploreOptions::progress.  The serve layer streams these as
+     * wire frames. */
+    ProgressFn progress;
+
+    /** Minimum seconds between progress calls; <= 0 reports at every
+     * batch flush. */
+    double progressIntervalSeconds = 0.25;
 };
 
 /** One verification request. */
@@ -251,8 +260,15 @@ struct CheckResult {
      * Machine-readable result (schema "cxl-check-result/v1"): every
      * key is always present; violation fields are null when the run
      * held.  Benches embed these objects in their BENCH_*.json.
+     *
+     * @p deterministic zeroes the wall-clock- and allocator-dependent
+     * keys (seconds, states_per_sec, peak_rss_bytes,
+     * rss_delta_bytes) so two runs of the same request render
+     * byte-identical JSON — the form the serve layer caches and the
+     * served-vs-offline determinism checks diff.  Key set and order
+     * are unchanged.
      */
-    std::string renderJson() const;
+    std::string renderJson(bool deterministic = false) const;
 };
 
 /** One obligation-matrix request (paper Fig. 1 / Section 7). */
@@ -343,10 +359,29 @@ class CheckSession
 
     const EngineOptions &defaults() const { return defaults_; }
 
+    /**
+     * Reuse accounting of one cached (config-bits, devices) model.
+     * Each live cache entry cost exactly one build (its miss); hits
+     * count the later requests it served without rebuilding the
+     * RuleSet/InvariantSet pair.
+     */
+    struct ModelCacheStat {
+        int devices = 0;
+        /** The 7 ProtocolConfig switches packed in modelKey order
+         * (staleEvictDrop is the most significant bit). */
+        std::uint32_t configBits = 0;
+        std::uint64_t hits = 0;
+    };
+
+    /** Snapshot of the model cache's per-key reuse counters, in
+     * ascending (devices, config-bits) key order. */
+    std::vector<ModelCacheStat> modelCacheStats() const;
+
   private:
     struct Model {
         RuleSet rules;
         InvariantSet invariants; ///< the full strengthened set
+        std::uint64_t hits = 0;  ///< cache-served requests after build
     };
     struct Resolved {
         Scenario scenario;

@@ -2,9 +2,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+
+#include "fuzz/corpus.hh"
 
 namespace cxl::api
 {
+
+void
+corpusOption(const CliArgs &args)
+{
+    const std::string dir = args.get("corpus", "");
+    if (dir.empty())
+        return;
+    try {
+        fuzz::promoteToRegistry(fuzz::loadCorpus(dir));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot load corpus: %s\n", e.what());
+        std::exit(2);
+    }
+}
 
 StandardOptions
 standardOptions(const CliArgs &args, const char *defaultJsonPath)
@@ -83,10 +100,12 @@ standardOptions(const CliArgs &args, const char *defaultJsonPath)
 
     // One process-wide token shared by every standardOptions call:
     // re-parsing (sweep harnesses build several sessions) must not
-    // orphan the token the signal handler is bound to.
+    // orphan the token the signal handler is bound to.  The bridge
+    // is first-install-wins, so a front-end that armed its own token
+    // earlier (cxl_checkd's drain) keeps it — the returned token is
+    // whichever one the handler actually trips.
     static const CancelToken process_cancel = CancelToken::create();
-    opt.engine.cancel = process_cancel;
-    installSignalCancel(process_cancel);
+    opt.engine.cancel = installSignalCancel(process_cancel);
 
     if (args.has("json")) {
         opt.json = true;

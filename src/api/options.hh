@@ -60,6 +60,17 @@ struct StandardOptions {
 StandardOptions standardOptions(const CliArgs &args,
                                 const char *defaultJsonPath = nullptr);
 
+/**
+ * Handle the shared `--corpus DIR` flag: promote every fuzz case in
+ * DIR into the scenario registry, so --list/--all/--scenario (and a
+ * daemon's request resolution) cover the auto-discovered scenarios
+ * too.  No-op when the flag is absent.  A malformed case file prints
+ * the loader's filename-naming diagnostic and exits 2 — the same
+ * usage-error path as a bad flag, shared by every front-end instead
+ * of re-implemented per binary.
+ */
+void corpusOption(const CliArgs &args);
+
 } // namespace cxl::api
 
 #endif // CXL_API_OPTIONS_HH

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "checker/por.hh"
+#include "checker/progress.hh"
 #include "support/thread_pool.hh"
 
 namespace cxl
@@ -227,6 +228,12 @@ Explorer::runBfs(const ExploreOptions &options)
     RunGovernor governor(
         {options.maxSeconds, options.maxRssBytes, options.cancel});
 
+    // Progress samples ride the same flush cadence as the budget
+    // polls; with no observer installed the ticker is counter folds
+    // only.
+    ProgressTicker progress(options.progress,
+                            options.progressIntervalSeconds);
+
     auto symmetry_canon = [&options](SystemState &s) {
         if (!options.symmetryReduction)
             return;
@@ -361,6 +368,7 @@ Explorer::runBfs(const ExploreOptions &options)
         // rarely), and a pre-cancelled token must stop before any
         // expansion.
         governor.poll();
+        progress.tick(store.size(), 0, depth);
         if (governor.stopped()) {
             governed_stop = true;
             break;
@@ -383,6 +391,7 @@ Explorer::runBfs(const ExploreOptions &options)
         auto flushBatch = [&](WorkerScratch &ws, Context &wctx) {
             if (ws.batch.empty())
                 return;
+            const std::size_t flushed = ws.batch.size();
             store.insertBatch(ws.batch.data(), ws.batch.size());
             for (const PendingOverflow &po : ws.overflows) {
                 const StateStore::BatchItem &item =
@@ -423,6 +432,7 @@ Explorer::runBfs(const ExploreOptions &options)
             // Budget check rides the flush: once per <= kFlushBatch
             // successors per worker.
             governor.poll();
+            progress.tick(store.size(), flushed, depth + 1);
         };
 
         auto workLevel = [&](WorkerScratch &ws) {

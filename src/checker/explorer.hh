@@ -30,6 +30,7 @@
 #define CXL_CHECKER_EXPLORER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +60,29 @@ enum class Schedule : std::uint8_t {
      */
     WorkSteal,
 };
+
+/**
+ * A mid-run counter sample handed to ExploreOptions::progress.
+ * Counters are relaxed reads of live worker state — monotonically
+ * believable but not barrier-exact (the final ExploreResult is the
+ * authoritative count).  depth is the deepest level any worker has
+ * generated a successor into so far.
+ */
+struct ProgressSnapshot {
+    std::uint64_t states = 0;      ///< distinct states inserted so far
+    std::uint64_t transitions = 0; ///< rule firings examined so far
+    std::uint32_t depth = 0;       ///< deepest level reached so far
+    std::uint64_t rssBytes = 0;    ///< current process RSS
+    double seconds = 0.0;          ///< wall-clock since run start
+};
+
+/**
+ * Observer for periodic progress samples.  Called from engine worker
+ * threads (one call at a time — emission is serialized), so it must
+ * be thread-safe with respect to the caller's own state and must not
+ * block for long: workers poll budgets at the same granularity.
+ */
+using ProgressFn = std::function<void(const ProgressSnapshot &)>;
 
 /** Exploration limits and switches. */
 struct ExploreOptions {
@@ -162,6 +186,19 @@ struct ExploreOptions {
      * shard-full path testable at toy sizes.
      */
     std::uint64_t storeCapacity = 0;
+
+    /**
+     * Periodic progress observer (empty = none).  Sampled at
+     * governor-poll granularity — the same batch-flush cadence the
+     * budgets ride — and rate-limited to one call per
+     * progressIntervalSeconds.  Purely observational: verdicts and
+     * counts are unaffected by whether a callback is installed.
+     */
+    ProgressFn progress;
+
+    /** Minimum seconds between progress calls; <= 0 reports at every
+     * flush (tests use that to see the stream without waiting). */
+    double progressIntervalSeconds = 0.25;
 
     /**
      * Worker threads for the depth-synchronized parallel expansion;

@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "checker/por.hh"
+#include "checker/progress.hh"
 #include "checker/workqueue.hh"
 #include "support/reduce.hh"
 #include "support/thread_pool.hh"
@@ -309,6 +310,10 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     RunGovernor governor(
         {options.maxSeconds, options.maxRssBytes, options.cancel});
 
+    // Progress samples ride the flush cadence (see explorer.cc).
+    ProgressTicker progress(options.progress,
+                            options.progressIntervalSeconds);
+
     auto symmetry_canon = [&options](SystemState &s) {
         if (!options.symmetryReduction)
             return;
@@ -427,6 +432,8 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     auto flush = [&](std::size_t t, WsScratch &ws, Context &wctx) {
         if (ws.batch.empty() && ws.tasksDone == 0)
             return;
+        const std::size_t flushed = ws.batch.size();
+        std::uint32_t flush_depth = 0;
         ws.pushes.clear();
         if (!ws.batch.empty()) {
             store.insertBatch(ws.batch.data(), ws.batch.size());
@@ -442,6 +449,7 @@ Explorer::runWorkSteal(const ExploreOptions &options)
             ws.overflows.clear();
             for (std::size_t bi = 0; bi < ws.batch.size(); ++bi) {
                 const StateStore::BatchItem &item = ws.batch[bi];
+                flush_depth = std::max(flush_depth, item.depth);
                 if (item.inserted) {
                     if (options.checkInvariants) {
                         if (const Conjunct *bad =
@@ -529,6 +537,7 @@ Explorer::runWorkSteal(const ExploreOptions &options)
         if (store.size() >= options.maxStates)
             governor.trip(StopReason::StateCap);
         governor.poll();
+        progress.tick(store.size(), flushed, flush_depth);
     };
 
     auto expand = [&](std::size_t t, WsScratch &ws, Context &wctx,

@@ -116,7 +116,7 @@ FuzzCase::toRequest() const
 }
 
 std::string
-FuzzCase::renderJson() const
+configJson(const ProtocolConfig &config)
 {
     JsonObject cfg;
     cfg.boolean("stale_evict_drop", config.staleEvictDrop)
@@ -126,7 +126,31 @@ FuzzCase::renderJson() const
         .boolean("relax_smad_snoop_guard", config.relaxSmadSnoopGuard)
         .boolean("relax_go_tailgate", config.relaxGoTailgate)
         .boolean("relax_one_snoop", config.relaxOneSnoop);
+    return cfg.render();
+}
 
+ProtocolConfig
+configFromJsonValue(const JsonValue *cfg)
+{
+    ProtocolConfig config;
+    if (!cfg)
+        return config;
+    config.staleEvictDrop = cfg->getBool("stale_evict_drop", true);
+    config.cleanEvictNoData =
+        cfg->getBool("clean_evict_no_data", true);
+    config.hostCleanPull = cfg->getBool("host_clean_pull");
+    config.relaxSnoopPushesGo =
+        cfg->getBool("relax_snoop_pushes_go");
+    config.relaxSmadSnoopGuard =
+        cfg->getBool("relax_smad_snoop_guard");
+    config.relaxGoTailgate = cfg->getBool("relax_go_tailgate");
+    config.relaxOneSnoop = cfg->getBool("relax_one_snoop");
+    return config;
+}
+
+std::string
+FuzzCase::renderJson() const
+{
     std::vector<std::string> prog_rows;
     for (const std::vector<Instr> &prog : programs) {
         std::vector<std::string> words;
@@ -147,7 +171,7 @@ FuzzCase::renderJson() const
         .num("owner_val", static_cast<std::uint64_t>(ownerVal))
         .num("owner", static_cast<std::uint64_t>(owner))
         .raw("programs", JsonObject::array(prog_rows))
-        .raw("config", cfg.render())
+        .raw("config", configJson(config))
         .raw("families", JsonObject::array(family_rows))
         .num("max_states", maxStates);
     return json.render();
@@ -178,19 +202,7 @@ FuzzCase::fromJson(const std::string &text)
             c.programs.push_back(std::move(prog));
         }
     }
-    if (const JsonValue *cfg = doc.get("config")) {
-        c.config.staleEvictDrop =
-            cfg->getBool("stale_evict_drop", true);
-        c.config.cleanEvictNoData =
-            cfg->getBool("clean_evict_no_data", true);
-        c.config.hostCleanPull = cfg->getBool("host_clean_pull");
-        c.config.relaxSnoopPushesGo =
-            cfg->getBool("relax_snoop_pushes_go");
-        c.config.relaxSmadSnoopGuard =
-            cfg->getBool("relax_smad_snoop_guard");
-        c.config.relaxGoTailgate = cfg->getBool("relax_go_tailgate");
-        c.config.relaxOneSnoop = cfg->getBool("relax_one_snoop");
-    }
+    c.config = configFromJsonValue(doc.get("config"));
     if (const JsonValue *fams = doc.get("families")) {
         for (const JsonValue &f : fams->items())
             c.families.push_back(f.str());

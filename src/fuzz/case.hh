@@ -21,6 +21,7 @@
 #include "api/check.hh"
 #include "protocol/config.hh"
 #include "protocol/scenario.hh"
+#include "support/json_parse.hh"
 
 namespace cxl::fuzz
 {
@@ -140,6 +141,17 @@ std::string instrWord(Instr i);
 
 /** Inverse of instrWord. @throws std::runtime_error on junk. */
 Instr instrFromWord(const std::string &word);
+
+/**
+ * The ProtocolConfig switches as a JSON object — the `config` key
+ * shared by the cxl-fuzz-case/v1 and cxl-checkd/v1 schemas (one
+ * boolean per switch, snake_case names).
+ */
+std::string configJson(const ProtocolConfig &config);
+
+/** Inverse of configJson over a parsed member; nullptr or missing
+ * keys keep the ProtocolConfig defaults. */
+ProtocolConfig configFromJsonValue(const JsonValue *cfg);
 
 } // namespace cxl::fuzz
 

@@ -1,0 +1,56 @@
+#include "serve/cache.hh"
+
+namespace cxl::serve
+{
+
+std::optional<ResultPayload>
+ResultCache::lookup(const std::string &key)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->payload;
+}
+
+void
+ResultCache::insert(const std::string &key,
+                    const ResultPayload &payload)
+{
+    if (maxEntries_ == 0)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // A racing worker answered the same request first; the
+        // payloads are byte-identical by the determinism argument,
+        // so keep the incumbent and just refresh recency.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front({key, payload});
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > maxEntries_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = lru_.size();
+    return s;
+}
+
+} // namespace cxl::serve

@@ -1,0 +1,123 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/json_parse.hh"
+
+namespace cxl::serve
+{
+
+ClientResult
+requestCheck(const std::string &socketPath, const Request &request,
+             const std::function<void(const ProgressSnapshot &)>
+                 &onProgress)
+{
+    ClientResult out;
+    const int fd = connectUnixSocket(socketPath);
+    if (fd < 0) {
+        out.error = "cannot connect to " + socketPath + ": " +
+                    std::strerror(errno);
+        return out;
+    }
+    if (!sendFrame(fd, renderRequestJson(request))) {
+        out.error = "cannot send request: " +
+                    std::string(std::strerror(errno));
+        ::close(fd);
+        return out;
+    }
+
+    FrameReader reader;
+    std::string line;
+    while (recvFrame(fd, reader, line)) {
+        JsonValue frame;
+        try {
+            frame = parseJson(line);
+        } catch (const std::exception &e) {
+            out.error = std::string("bad frame from server: ") +
+                        e.what();
+            ::close(fd);
+            return out;
+        }
+        const std::string type = frame.getStr("type");
+        if (type == "progress") {
+            ++out.progressFrames;
+            if (onProgress) {
+                ProgressSnapshot p;
+                p.states = frame.get("states")
+                               ? frame.get("states")->asUint()
+                               : 0;
+                p.transitions =
+                    frame.get("transitions")
+                        ? frame.get("transitions")->asUint()
+                        : 0;
+                p.depth = static_cast<std::uint32_t>(
+                    frame.getNum("depth"));
+                p.rssBytes = frame.get("rss_bytes")
+                                 ? frame.get("rss_bytes")->asUint()
+                                 : 0;
+                p.seconds = frame.getNum("seconds");
+                onProgress(p);
+            }
+            continue;
+        }
+        if (type == "result") {
+            out.ok = true;
+            out.cached = frame.getBool("cached");
+            out.payload.verdictLine = frame.getStr("verdict_line");
+            out.payload.text = frame.getStr("text");
+            if (const JsonValue *res = frame.get("result")) {
+                // Re-rendering must not perturb the served bytes, so
+                // relay the raw substring: the result object is the
+                // frame's last member, between the "result": marker
+                // and the frame's closing brace.
+                const std::string marker = "\"result\": ";
+                const std::size_t at = line.rfind(marker);
+                if (at != std::string::npos &&
+                    line.size() > at + marker.size()) {
+                    out.payload.resultJson = line.substr(
+                        at + marker.size(),
+                        line.size() - at - marker.size() - 1);
+                } else {
+                    out.payload.resultJson = res->render();
+                }
+            }
+            ::close(fd);
+            return out;
+        }
+        if (type == "stats") {
+            out.ok = true;
+            if (const JsonValue *stats = frame.get("stats"))
+                out.payload.resultJson = stats->render();
+            ::close(fd);
+            return out;
+        }
+        if (type == "error") {
+            out.error = frame.getStr("message", "server error");
+            ::close(fd);
+            return out;
+        }
+        // Unknown frame type: tolerate (forward compatibility).
+    }
+    out.error = "connection closed before a result frame";
+    ::close(fd);
+    return out;
+}
+
+std::string
+fetchStats(const std::string &socketPath, std::string &error)
+{
+    Request req;
+    req.type = Request::Type::Stats;
+    req.id = "stats";
+    const ClientResult res = requestCheck(socketPath, req);
+    if (!res.ok) {
+        error = res.error;
+        return "";
+    }
+    return res.payload.resultJson;
+}
+
+} // namespace cxl::serve

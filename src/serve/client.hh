@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Client side of the cxl-checkd/v1 protocol: connect, send one
+ * request frame, relay the response stream.  Used by
+ * `cxl_check --connect SOCK` (so offline and served output stay
+ * byte-comparable) and by the serve tests.
+ */
+
+#ifndef CXL_SERVE_CLIENT_HH
+#define CXL_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace cxl::serve
+{
+
+/** Outcome of one served request. */
+struct ClientResult {
+    /** A result frame arrived; the payload fields below are valid. */
+    bool ok = false;
+
+    /** Connect/protocol failure or the server's error frame. */
+    std::string error;
+
+    bool cached = false; ///< answered from the server's result cache
+    ResultPayload payload;
+
+    /** Progress frames relayed before the terminal frame. */
+    std::uint64_t progressFrames = 0;
+};
+
+/**
+ * Run one check (or stats) request against the daemon at
+ * @p socketPath.  @p onProgress (may be empty) sees every progress
+ * frame as it arrives.  Never throws: failures land in
+ * ClientResult::error.
+ *
+ * For a stats request the stats object is returned in
+ * payload.resultJson.
+ */
+ClientResult
+requestCheck(const std::string &socketPath, const Request &request,
+             const std::function<void(const ProgressSnapshot &)>
+                 &onProgress = {});
+
+/** Fetch the server stats object (rendered JSON); empty string on
+ * failure with the reason in @p error. */
+std::string fetchStats(const std::string &socketPath,
+                       std::string &error);
+
+} // namespace cxl::serve
+
+#endif // CXL_SERVE_CLIENT_HH

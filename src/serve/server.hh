@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The cxl_checkd service core: a Unix-domain-socket accept loop
+ * feeding a bounded connection queue multiplexed over a shared pool
+ * of CheckSession workers.
+ *
+ * One connection carries one request and its response stream.  Each
+ * check runs under its own CancelToken: a client that disconnects
+ * mid-run cancels its exploration (detected from the progress
+ * callback, so at governor-poll granularity), and beginDrain()
+ * cancels every in-flight token at once — runs then finish as
+ * governed Incompletes and are answered to still-connected clients,
+ * while queued-but-unstarted connections get an error frame.  The
+ * worker-pool size is the global concurrent-run limit; the queue
+ * bound turns overload into an immediate "server busy" error instead
+ * of unbounded memory growth.
+ */
+
+#ifndef CXL_SERVE_SERVER_HH
+#define CXL_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/check.hh"
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+
+namespace cxl::serve
+{
+
+/**
+ * A wire request resolved against the scenario registry and the
+ * daemon's engine defaults: ready to run, and keyed for the cache.
+ * The key is built from resolved values only (see cache.hh), so
+ * scenario-name aliases and knob spellings that mean the same run
+ * collapse to one entry.
+ *
+ * @throws std::runtime_error on an unknown scenario or out-of-range
+ *         values — the server answers those with an error frame.
+ */
+struct ResolvedRequest {
+    CheckRequest check;   ///< engine left unset; the server fills it
+    EngineOptions engine; ///< resolved knobs (cancel/progress cleared)
+    std::string cacheKey;
+};
+
+ResolvedRequest resolveRequest(const Request &request,
+                               const EngineOptions &defaults,
+                               double defaultMaxSeconds);
+
+struct ServerOptions {
+    std::string socketPath;
+
+    /** Worker pool size == the global concurrent-run limit. */
+    std::size_t workers = 2;
+
+    std::size_t cacheEntries = 256;
+
+    /** Bounded accept queue; a connection arriving past this depth
+     * is answered "server busy" and closed. */
+    std::size_t queueDepth = 64;
+
+    /**
+     * Wall-clock budget applied to requests that carry no
+     * max_seconds of their own (and whose engine defaults carry
+     * none): the daemon's safety net against a single request
+     * monopolizing a worker forever.  0 = none.
+     */
+    double defaultMaxSeconds = 0;
+
+    /** Baseline engine knobs (the daemon's standard flags); each
+     * request overrides per knob.  cancel/progress are ignored. */
+    EngineOptions engine;
+};
+
+/** Aggregated server counters (the "stats" response payload). */
+struct ServerStats {
+    std::uint64_t accepted = 0;     ///< connections accepted
+    std::uint64_t checksServed = 0; ///< result frames sent
+    std::uint64_t statsServed = 0;
+    std::uint64_t errors = 0;   ///< error frames (bad requests, ...)
+    std::uint64_t rejected = 0; ///< busy/draining turnaways
+    std::uint64_t disconnectCancels = 0; ///< client-gone cancellations
+    std::uint64_t modelBuilds = 0; ///< CheckSession model-cache misses
+    std::uint64_t modelReuses = 0; ///< CheckSession model-cache hits
+    bool draining = false;
+    CacheStats cache;
+
+    /** One-line-per-counter human dump (SIGUSR1 / shutdown). */
+    std::string renderText() const;
+
+    /** JSON object for the "stats" frame. */
+    std::string renderJson() const;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket (replacing a stale file no server answers on),
+     * start the accept loop and the worker pool.
+     * @throws std::runtime_error on socket/bind/listen failure or if
+     *         another server is live on the path.
+     */
+    void start();
+
+    /** Stop accepting, cancel in-flight runs, wake everyone.
+     * Idempotent and non-blocking. */
+    void beginDrain();
+
+    /** beginDrain() plus join: returns once every worker has
+     * answered or turned away its remaining connections. */
+    void drain();
+
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    ServerStats stats() const;
+
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+  private:
+    /** One worker's session plus its published model-cache counters
+     * (the session itself is single-threaded by design; stats() must
+     * not touch it while the worker runs). */
+    struct WorkerState {
+        CheckSession session;
+        std::atomic<std::uint64_t> modelBuilds{0};
+        std::atomic<std::uint64_t> modelReuses{0};
+
+        explicit WorkerState(const EngineOptions &defaults)
+            : session(defaults)
+        {
+        }
+    };
+
+    void acceptLoop();
+    void workerLoop(std::size_t w);
+    void handleConnection(WorkerState &state, int fd);
+    void serveCheck(WorkerState &state, int fd, const Request &wire);
+
+    ServerOptions options_;
+    ResultCache cache_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1}; ///< beginDrain -> accept loop poll
+    std::atomic<bool> draining_{false};
+    bool started_ = false;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+
+    // Bounded connection queue (fds), guarded by queueMutex_.
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<int> queue_;
+
+    // In-flight run cancellation registry.
+    mutable std::mutex tokensMutex_;
+    std::uint64_t nextTokenId_ = 0;
+    std::map<std::uint64_t, CancelToken> activeTokens_;
+
+    // Counters (atomics: bumped from accept and worker threads).
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> checksServed_{0};
+    std::atomic<std::uint64_t> statsServed_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> disconnectCancels_{0};
+};
+
+} // namespace cxl::serve
+
+#endif // CXL_SERVE_SERVER_HH

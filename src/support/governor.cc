@@ -1,6 +1,7 @@
 #include "support/governor.hh"
 
 #include <csignal>
+#include <mutex>
 
 #include "support/resource.hh"
 
@@ -15,9 +16,15 @@ namespace
  * handler).  g_signal_keepalive pins the flag's lifetime for the
  * remainder of the process, so the handler can never dangle even if
  * the installing CancelToken goes out of scope.
+ *
+ * g_install_mutex serializes install/uninstall; g_installed is the
+ * token the bridge is currently bound to (invalid when no bridge is
+ * armed), handed back verbatim to re-entrant installers.
  */
 std::atomic<std::atomic<bool> *> g_signal_flag{nullptr};
 std::shared_ptr<std::atomic<bool>> g_signal_keepalive;
+std::mutex g_install_mutex;
+CancelToken g_installed;
 
 extern "C" void
 signalCancelHandler(int sig)
@@ -71,24 +78,31 @@ CancelToken::create()
     return token;
 }
 
-void
+CancelToken
 installSignalCancel(const CancelToken &token)
 {
+    const std::lock_guard<std::mutex> lock(g_install_mutex);
+    if (g_installed.valid())
+        return g_installed; // first install wins; bridge untouched
     if (!token.valid())
-        return;
+        return token;
+    g_installed = token;
     g_signal_keepalive = token.flag_;
     g_signal_flag.store(token.flag_.get(),
                         std::memory_order_release);
     std::signal(SIGINT, signalCancelHandler);
     std::signal(SIGTERM, signalCancelHandler);
+    return token;
 }
 
 void
 uninstallSignalCancel()
 {
+    const std::lock_guard<std::mutex> lock(g_install_mutex);
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     g_signal_flag.store(nullptr, std::memory_order_release);
+    g_installed = CancelToken();
     // The keepalive stays: a signal delivered between the flag load
     // and the store above may still be writing through the pointer.
 }

@@ -84,7 +84,7 @@ class CancelToken
     bool valid() const { return flag_ != nullptr; }
 
   private:
-    friend void installSignalCancel(const CancelToken &);
+    friend CancelToken installSignalCancel(const CancelToken &);
     std::shared_ptr<std::atomic<bool>> flag_;
 };
 
@@ -93,10 +93,21 @@ class CancelToken
  * token (the engines then stop gracefully and report an Incomplete
  * verdict with stop_reason "cancelled"); the handler re-arms the
  * default disposition, so a second signal kills the process the
- * normal way.  The token is kept alive process-wide.  Callable more
- * than once; the latest token wins.
+ * normal way.  The token is kept alive process-wide.
+ *
+ * Idempotent and thread-safe: the first installed token wins, and
+ * every later call returns that token unchanged instead of re-arming
+ * the handlers — so a daemon can claim the bridge for its own drain
+ * logic before (or after) api::standardOptions arms the every-CLI
+ * one, and both end up watching the same flag.  After
+ * uninstallSignalCancel a new token can be installed again.
+ *
+ * @return the token the bridge is bound to: @p token when this call
+ *         installed it, the previously installed token on re-entry
+ *         (an invalid @p token installs nothing and is returned
+ *         as-is when no bridge is armed).
  */
-void installSignalCancel(const CancelToken &token);
+CancelToken installSignalCancel(const CancelToken &token);
 
 /** Restore the default SIGINT/SIGTERM dispositions and detach the
  * installed token (tests use this to avoid cross-test leakage). */

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "api/check.hh"
 #include "checker/state_store.hh"
@@ -205,6 +206,76 @@ TEST(Governor, SigintTripsTheInstalledToken)
     CheckSession session;
     const CheckResult res = session.run(freeRunRequest(2, engine));
     expectGovernedStop(res, StopReason::Cancelled, "cancelled");
+}
+
+TEST(Governor, SignalBridgeInstallIsFirstWins)
+{
+    // Layered installs (the daemon claims the bridge before
+    // standardOptions arms the every-CLI one): the first token stays
+    // bound and every later call is handed that same token back —
+    // observable as flag aliasing.
+    const CancelToken first = CancelToken::create();
+    installSignalCancel(first);
+
+    const CancelToken second = CancelToken::create();
+    const CancelToken bound = installSignalCancel(second);
+    ASSERT_TRUE(bound.valid());
+
+    std::raise(SIGTERM);
+    EXPECT_TRUE(first.cancelled());
+    EXPECT_TRUE(bound.cancelled()); // bound aliases first, ...
+    EXPECT_FALSE(second.cancelled()); // ... not the late-comer
+    uninstallSignalCancel();
+
+    // After uninstall the bridge is free for a fresh token.
+    const CancelToken fresh = CancelToken::create();
+    const CancelToken rebound = installSignalCancel(fresh);
+    EXPECT_FALSE(rebound.cancelled());
+    std::raise(SIGINT);
+    EXPECT_TRUE(fresh.cancelled());
+    EXPECT_TRUE(rebound.cancelled());
+    uninstallSignalCancel();
+}
+
+TEST(Governor, SignalBridgeIgnoresInvalidTokens)
+{
+    // An invalid token installs nothing: no handler is armed, and
+    // the invalid token is just echoed back.
+    const CancelToken none;
+    EXPECT_FALSE(installSignalCancel(none).valid());
+
+    // A real install still works afterwards, and an invalid-token
+    // call then returns the bound token (flag-aliased).
+    const CancelToken token = CancelToken::create();
+    installSignalCancel(token);
+    const CancelToken bound = installSignalCancel(none);
+    ASSERT_TRUE(bound.valid());
+    token.cancel();
+    EXPECT_TRUE(bound.cancelled());
+    uninstallSignalCancel();
+}
+
+TEST(Governor, SignalBridgeInstallIsThreadSafe)
+{
+    // Concurrent installs agree on a single winner; every caller is
+    // handed the same token, so layered front-ends can't split the
+    // bridge.
+    constexpr int kThreads = 8;
+    std::vector<CancelToken> returned(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&returned, i] {
+            returned[i] = installSignalCancel(CancelToken::create());
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    returned[0].cancel();
+    for (int i = 1; i < kThreads; ++i) {
+        ASSERT_TRUE(returned[i].valid()) << i;
+        EXPECT_TRUE(returned[i].cancelled()) << i;
+    }
+    uninstallSignalCancel();
 }
 
 // ------------------------------------------------------ shard full
