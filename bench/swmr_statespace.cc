@@ -64,8 +64,11 @@ main(int argc, char **argv)
         std::to_string(devices) + "-device, one-location model" +
         (symmetry_on ? " (device-permutation symmetry reduction on)"
                      : "") +
-        (opts.engine.store == StoreKind::Compact
+        (storeKindCompact(opts.engine.store)
              ? " (hash-compacted store)"
+             : "") +
+        (storeKindMmap(opts.engine.store)
+             ? " (mmap out-of-core store)"
              : "") +
         (opts.engine.schedule == Schedule::WorkSteal
              ? " (work-stealing schedule)"
@@ -109,6 +112,17 @@ main(int argc, char **argv)
     std::uint64_t total_states = 0, total_transitions = 0;
     std::uint64_t total_collisions = 0;
     double total_seconds = 0.0;
+    // High-water marks of the mmap backend's footprint: how many
+    // file-backed bytes were mapped at once (the out-of-core working
+    // set) and how large the backing files grew (total state bytes
+    // paged through).  Zero for the in-RAM kinds.
+    std::uint64_t max_mapped_bytes = 0, max_store_file_bytes = 0;
+    auto noteStoreBytes = [&](const CheckResult &res) {
+        max_mapped_bytes =
+            std::max(max_mapped_bytes, res.mappedFileBytes);
+        max_store_file_bytes =
+            std::max(max_store_file_bytes, res.storeFileBytes);
+    };
 
     bool all_ok = true;
     for (const Case &c : cases) {
@@ -156,6 +170,7 @@ main(int argc, char **argv)
         total_transitions += res.transitions;
         total_seconds += res.seconds;
         total_collisions += res.probeCollisions;
+        noteStoreBytes(res);
         bench::JsonObject row;
         row.str("name", c.name)
             .num("rss_before_bytes", rss_before)
@@ -177,6 +192,7 @@ main(int argc, char **argv)
             symmetry_on ? SymmetryMode::Off : SymmetryMode::On;
         req.engine = alt;
         CheckResult res = session.run(req);
+        noteStoreBytes(res);
         std::printf("\n%s device-permutation symmetry reduction "
                     "(default config): %llu states (%s)\n",
                     res.symmetryReduction ? "with" : "without",
@@ -302,9 +318,17 @@ main(int argc, char **argv)
                 total_states > 0 ? static_cast<double>(peak_rss) /
                                        static_cast<double>(total_states)
                                  : 0.0,
-                opts.engine.store == StoreKind::Compact
+                storeKindCompact(opts.engine.store)
                     ? " [hash-compacted]"
                     : "");
+    if (storeKindMmap(opts.engine.store)) {
+        std::printf("mmap store high-water: %.1f MB mapped at once, "
+                    "%.1f MB of backing file\n",
+                    static_cast<double>(max_mapped_bytes) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(max_store_file_bytes) /
+                        (1024.0 * 1024.0));
+    }
     if (total_collisions != 0) {
         std::printf("probe-hash collisions detected and kept "
                     "separate: %llu\n",
@@ -316,8 +340,8 @@ main(int argc, char **argv)
         json.str("bench", "swmr_statespace")
             .num("devices", static_cast<std::uint64_t>(devices))
             .boolean("symmetry_reduction", symmetry_on)
-            .boolean("compact",
-                     opts.engine.store == StoreKind::Compact)
+            .boolean("compact", storeKindCompact(opts.engine.store))
+            .str("store", storeKindWord(opts.engine.store))
             .num("total_states", total_states)
             .num("total_transitions", total_transitions)
             .num("total_seconds", total_seconds)
@@ -332,6 +356,8 @@ main(int argc, char **argv)
                            static_cast<double>(total_states)
                      : 0.0)
             .num("probe_hash_collisions", total_collisions)
+            .num("mapped_file_bytes", max_mapped_bytes)
+            .num("store_file_bytes", max_store_file_bytes)
             .boolean("all_ok", all_ok)
             .raw("cases", bench::JsonObject::array(json_cases));
         bench::writeJsonFile(opts.jsonPath, json);

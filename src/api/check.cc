@@ -55,6 +55,20 @@ verdictWord(CheckResult::Verdict v)
 
 } // namespace
 
+std::optional<StoreKind>
+storeKindFromWord(const std::string &word)
+{
+    if (word == "ram")
+        return StoreKind::InRam;
+    if (word == "ram-compact")
+        return StoreKind::InRamCompact;
+    if (word == "mmap")
+        return StoreKind::Mmap;
+    if (word == "mmap-compact")
+        return StoreKind::MmapCompact;
+    return std::nullopt;
+}
+
 // ------------------------------------------------------ CheckResult
 
 std::string
@@ -119,7 +133,12 @@ CheckResult::renderText(bool withTrace) const
                   "engine: %zu thread(s), symmetry %s, %s store, "
                   "por %s, %s schedule\n",
                   threads, symmetryReduction ? "on" : "off",
-                  compaction ? "hash-compacted" : "full",
+                  storeKindWord(
+                      mmapStore
+                          ? (compaction ? StoreKind::MmapCompact
+                                        : StoreKind::Mmap)
+                          : (compaction ? StoreKind::InRamCompact
+                                        : StoreKind::InRam)),
                   por ? "on" : "off",
                   schedule == Schedule::WorkSteal ? "work-stealing"
                                                   : "bfs");
@@ -202,8 +221,13 @@ CheckResult::renderText(bool withTrace) const
 std::string
 CheckResult::renderJson(bool deterministic) const
 {
-    // Deterministic mode zeroes the four wall-clock/allocator keys —
-    // and nothing else — so the key set and order stay schema-stable.
+    // Deterministic mode zeroes the wall-clock/allocator keys — and
+    // nothing else — so the key set and order stay schema-stable.
+    // The store *backend* is deliberately not a key: verdicts and
+    // counts are backend-independent, the serve cache collapses ram
+    // and mmap spellings onto one entry, and a cached in-RAM result
+    // must stay byte-identical to an offline mmap run (only the
+    // compact bit, which seals semantics, is echoed).
     const double secs = deterministic ? 0.0 : seconds;
     JsonObject json;
     json.str("schema", "cxl-check-result/v1")
@@ -257,7 +281,9 @@ CheckResult::renderJson(bool deterministic) const
     json.num("probe_hash_collisions", probeCollisions)
         .num("peak_rss_bytes",
              deterministic ? 0 : peakRssBytes())
-        .num("rss_delta_bytes", deterministic ? 0 : rssDeltaBytes);
+        .num("rss_delta_bytes", deterministic ? 0 : rssDeltaBytes)
+        .num("mapped_file_bytes", deterministic ? 0 : mappedFileBytes)
+        .num("store_file_bytes", deterministic ? 0 : storeFileBytes);
     return json.render();
 }
 
@@ -412,7 +438,11 @@ CheckSession::run(const CheckRequest &request)
     if (engine.maxStates != 0)
         opt.maxStates = engine.maxStates;
     opt.expectedStates = engine.expectedStates;
-    opt.compaction = engine.store == StoreKind::Compact;
+    opt.compaction = storeKindCompact(engine.store);
+    opt.storeBackend = storeKindMmap(engine.store)
+                           ? StoreBackend::Mmap
+                           : StoreBackend::InRam;
+    opt.storeDir = engine.storeDir;
     opt.por = engine.por;
     opt.schedule = engine.schedule;
     opt.symmetryReduction =
@@ -444,6 +474,7 @@ CheckSession::run(const CheckRequest &request)
     out.threads = resolvedThreads(engine.threads);
     out.symmetryReduction = opt.symmetryReduction;
     out.compaction = opt.compaction;
+    out.mmapStore = storeKindMmap(engine.store);
     out.por = opt.por;
     out.schedule = opt.schedule;
     out.maxStates = opt.maxStates;
@@ -458,6 +489,8 @@ CheckSession::run(const CheckRequest &request)
     out.deepestCompleteLevel = res.deepestCompleteLevel;
     out.rssDeltaBytes =
         rss_after > rss_before ? rss_after - rss_before : 0;
+    out.mappedFileBytes = res.storeMappedBytes;
+    out.storeFileBytes = res.storeFileBytes;
 
     if (res.violation) {
         out.verdict = res.violation->kind == Violation::Kind::Deadlock

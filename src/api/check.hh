@@ -63,8 +63,68 @@ enum class SymmetryMode : std::uint8_t {
     Off,
 };
 
-/** Visited-set storage mode (see ExploreOptions::compaction). */
-enum class StoreKind : std::uint8_t { Full, Compact };
+/**
+ * Visited-state store kind (`--store=ram|ram-compact|mmap|mmap-compact`):
+ * the cross product of the storage mode (full states vs Murphi hash
+ * compaction; see ExploreOptions::compaction) and the memory backend
+ * (heap vs per-shard file-backed mappings whose sealed BFS levels are
+ * unmapped — the out-of-core mode; see StoreBackend).  The backend
+ * never changes verdicts, counts or diameters; the serve layer's
+ * cache key keeps only the compact bit.
+ *
+ * Full/Compact are back-compat aliases for the two classic in-RAM
+ * kinds (`--compact` upgrades whichever backend is selected).
+ */
+enum class StoreKind : std::uint8_t {
+    InRam,         ///< heap, full states (the classic default)
+    InRamCompact,  ///< heap, hash compaction
+    Mmap,          ///< file-backed, full states, out-of-core sealing
+    MmapCompact,   ///< file-backed, hash compaction
+    Full = InRam,  ///< legacy spelling
+    Compact = InRamCompact, ///< legacy spelling
+};
+
+/** Whether a store kind uses hash compaction. */
+constexpr bool
+storeKindCompact(StoreKind k)
+{
+    return k == StoreKind::InRamCompact || k == StoreKind::MmapCompact;
+}
+
+/** Whether a store kind uses the file-backed (mmap) backend. */
+constexpr bool
+storeKindMmap(StoreKind k)
+{
+    return k == StoreKind::Mmap || k == StoreKind::MmapCompact;
+}
+
+/** The compact variant of @p k's backend (what `--compact` selects). */
+constexpr StoreKind
+storeKindCompacted(StoreKind k)
+{
+    return storeKindMmap(k) ? StoreKind::MmapCompact
+                            : StoreKind::InRamCompact;
+}
+
+/** Canonical flag spelling of a store kind. */
+constexpr const char *
+storeKindWord(StoreKind k)
+{
+    switch (k) {
+    case StoreKind::InRam:
+        return "ram";
+    case StoreKind::InRamCompact:
+        return "ram-compact";
+    case StoreKind::Mmap:
+        return "mmap";
+    case StoreKind::MmapCompact:
+        return "mmap-compact";
+    }
+    return "ram";
+}
+
+/** Parse a `--store` word; nullopt on an unknown spelling. */
+std::optional<StoreKind> storeKindFromWord(const std::string &word);
 
 /** Engine knobs shared by every request of a session (overridable
  * per request). */
@@ -73,7 +133,11 @@ struct EngineOptions {
     std::size_t threads = 0;
 
     SymmetryMode symmetry = SymmetryMode::Auto;
-    StoreKind store = StoreKind::Full;
+    StoreKind store = StoreKind::InRam;
+
+    /** Mmap store kinds: directory for the backing files
+     * (`--store-dir`; "" = anonymous in-memory files). */
+    std::string storeDir;
 
     /**
      * Exploration schedule (`--ws` / `--bfs`): Schedule::Bfs is the
@@ -109,9 +173,11 @@ struct EngineOptions {
      * stopReason Deadline. */
     double maxSeconds = 0;
 
-    /** Process RSS ceiling in bytes (`--max-rss-mb`; 0 = none);
-     * crossing it ends the run as Incomplete with stopReason
-     * Memory. */
+    /** Process anonymous-RSS ceiling in bytes (`--max-rss-mb`;
+     * 0 = none); crossing it ends the run as Incomplete with
+     * stopReason Memory.  File-backed pages (the mmap store kinds'
+     * mappings) are excluded so out-of-core runs are not tripped
+     * for bytes the kernel can drop at will. */
     std::uint64_t maxRssBytes = 0;
 
     /** Cooperative cancellation (the CLIs wire SIGINT/SIGTERM to
@@ -204,6 +270,7 @@ struct CheckResult {
     std::size_t threads = 0;  ///< resolved worker count (never 0)
     bool symmetryReduction = false;
     bool compaction = false;
+    bool mmapStore = false;   ///< file-backed (out-of-core) store
     bool por = false;
     Schedule schedule = Schedule::Bfs;
     std::uint64_t maxStates = 0;
@@ -224,6 +291,16 @@ struct CheckResult {
      * repeat the earlier maximum.
      */
     std::uint64_t rssDeltaBytes = 0;
+
+    /** Bytes still mapped by the store's file-backed shard memory
+     * when the run ended (0 for in-RAM kinds) — the out-of-core
+     * mapped window, reported next to RSS because `ulimit -v` style
+     * budgets cap mapped bytes, not residency. */
+    std::uint64_t mappedFileBytes = 0;
+
+    /** Total size of the store's backing files at the end of the run
+     * (0 for in-RAM kinds); how much the run spilled. */
+    std::uint64_t storeFileBytes = 0;
 
     /** Firings pruned by POR; transitions + sleptTransitions is the
      * unreduced fan-out of the same state space. */
@@ -262,8 +339,8 @@ struct CheckResult {
      * held.  Benches embed these objects in their BENCH_*.json.
      *
      * @p deterministic zeroes the wall-clock- and allocator-dependent
-     * keys (seconds, states_per_sec, peak_rss_bytes,
-     * rss_delta_bytes) so two runs of the same request render
+     * keys (seconds, states_per_sec, peak_rss_bytes, rss_delta_bytes,
+     * mapped_file_bytes, store_file_bytes) so two runs of the same request render
      * byte-identical JSON — the form the serve layer caches and the
      * served-vs-offline determinism checks diff.  Key set and order
      * are unchanged.

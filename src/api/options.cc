@@ -35,8 +35,25 @@ standardOptions(const CliArgs &args, const char *defaultJsonPath)
     else if (args.has("sym"))
         opt.engine.symmetry = SymmetryMode::On;
 
+    // --store picks the visited-set backend by name; --compact then
+    // upgrades whichever backend is selected to its hash-compacted
+    // variant (order-independent, so sweep scripts can append either
+    // flag as an override).
+    if (args.has("store")) {
+        const std::string word = args.get("store", "");
+        const std::optional<StoreKind> kind = storeKindFromWord(word);
+        if (!kind) {
+            std::fprintf(stderr,
+                         "--store '%s' unknown (want "
+                         "ram|ram-compact|mmap|mmap-compact)\n",
+                         word.c_str());
+            std::exit(2);
+        }
+        opt.engine.store = *kind;
+    }
     if (args.has("compact"))
-        opt.engine.store = StoreKind::Compact;
+        opt.engine.store = storeKindCompacted(opt.engine.store);
+    opt.engine.storeDir = args.get("store-dir", "");
 
     // Partial-order reduction is opt-in; --no-por wins when both
     // appear (sweep scripts append overrides).

@@ -2,8 +2,10 @@
  * @file
  * Shared command-line surface of the bench/example front-ends: one
  * helper resolves the flags every binary used to re-plumb by hand —
- * `--devices`, `--threads`, `--sym`/`--no-sym`, `--compact`,
- * `--por`/`--no-por`, `--ws`/`--bfs`, `--max-states`,
+ * `--devices`, `--threads`, `--sym`/`--no-sym`,
+ * `--store=ram|ram-compact|mmap|mmap-compact`, `--store-dir`,
+ * `--compact` (upgrades the chosen backend to its compacted
+ * variant), `--por`/`--no-por`, `--ws`/`--bfs`, `--max-states`,
  * `--expect-states`, `--max-seconds`, `--max-rss-mb`, `--json` —
  * into a device count plus the EngineOptions a CheckSession is
  * constructed with.  It also arms the process-wide SIGINT/SIGTERM →

@@ -159,8 +159,9 @@ Explorer::rebuildTrace(const StateStore &store, std::uint32_t idx) const
         TraceStep step;
         // stateInto works in both store modes; compact-mode callers
         // are responsible for only rebuilding retained entries (BFS
-        // never calls this under compaction, the work-stealing
-        // schedule retains everything).
+        // calls this under compaction only when the backend retains
+        // everything — see StateStore::statesAlwaysReadable — and
+        // the work-stealing schedule never seals).
         store.stateInto(cur, step.state);
         const std::uint32_t parent = store.parentAt(cur);
         if (parent != StateStore::kNoParent)
@@ -214,13 +215,23 @@ Explorer::runBfs(const ExploreOptions &options)
         por.emplace(rules_, options.symmetryReduction,
                     options.canonicaliseTids);
 
-    StateStore store(1 << 16,
-                     options.compaction ? StoreMode::Compact
-                                        : StoreMode::Full,
-                     options.storeCapacity);
+    StateStore store(StoreConfig{
+        1 << 16,
+        options.compaction ? StoreMode::Compact : StoreMode::Full,
+        options.storeBackend, options.storeDir,
+        options.storeCapacity});
     if (options.expectedStates != 0)
         store.reserveStates(options.expectedStates);
     Context ctx{&scenario_};
+
+    // finish() is declared before the store exists; every return of
+    // this function goes through here so the out-of-core byte
+    // counters ride along.
+    auto finishRun = [&](ExploreResult &r) -> ExploreResult & {
+        r.storeMappedBytes = store.mappedBytes();
+        r.storeFileBytes = store.backingFileBytes();
+        return finish(r);
+    };
 
     // One stop word for the whole run: maxStates, the wall-clock and
     // RSS budgets, external cancellation and shard-full all trip it,
@@ -266,14 +277,17 @@ Explorer::runBfs(const ExploreOptions &options)
         v.depth = c.depth;
         if (c.kind == Violation::Kind::Overflow)
             v.overflowRule = rules_.rules()[c.edgeRule].name;
-        if (options.compaction) {
-            // Breadcrumb states are not retained in compact mode.
-            // The bad state itself is still in the arena when it was
-            // first discovered this level; show it alone.
+        if (!store.statesAlwaysReadable()) {
+            // Breadcrumb states are not retained (in-RAM compact
+            // mode; an mmap-backed compact store keeps every sealed
+            // cell in its backing file and rebuilds the full path
+            // below).  The bad state itself is still in the arena
+            // when it was first discovered this level; show it alone.
             v.traceNote =
                 "trace unavailable: hash-compaction mode stores "
                 "fingerprints, not states; re-run without compaction "
-                "to rebuild the full path";
+                "(or with --store=mmap-compact) to rebuild the full "
+                "path";
             if (store.depthAt(c.idx) == c.depth &&
                 store.stateRetained(c.idx)) {
                 TraceStep step;
@@ -289,7 +303,7 @@ Explorer::runBfs(const ExploreOptions &options)
             v.trace = rebuildTrace(store, c.edgeParent);
             TraceStep step;
             step.ruleName = v.overflowRule;
-            step.state = store.stateAt(c.idx);
+            store.stateInto(c.idx, step.state);
             v.trace.push_back(std::move(step));
         } else {
             v.trace = rebuildTrace(store, c.idx);
@@ -306,7 +320,7 @@ Explorer::runBfs(const ExploreOptions &options)
             if (options.stopAtFirstViolation) {
                 result.numStates = store.size();
                 result.probeCollisions = store.probeCollisions();
-                return finish(result);
+                return finishRun(result);
             }
         }
     }
@@ -675,8 +689,9 @@ Explorer::runBfs(const ExploreOptions &options)
             }
         }
 
-        // Quiescent barrier hook: in compact mode this releases the
-        // state bytes of the level whose expansion just finished.
+        // Quiescent barrier hook: releases (in-RAM compact) or
+        // unmaps (mmap backends) the state bytes of the level whose
+        // expansion just finished.
         store.sealLevel();
         frontier.swap(next_frontier);
         frontier_masks.swap(next_masks);
@@ -699,7 +714,7 @@ Explorer::runBfs(const ExploreOptions &options)
         result.deepestCompleteLevel = depth;
     else
         result.deepestCompleteLevel = result.maxDepth;
-    return finish(result);
+    return finishRun(result);
 }
 
 } // namespace cxl

@@ -124,6 +124,22 @@ struct ExploreOptions {
     bool compaction = false;
 
     /**
+     * Visited-set memory backend (see StoreBackend): InRam is the
+     * classic heap store; Mmap gives every shard file-backed growable
+     * mappings and — under the depth-synchronized schedule — unmaps
+     * sealed BFS levels, so the mapped window tracks the frontier
+     * while the backing files keep every byte (the out-of-core mode).
+     * Verdicts, counts and diameters are backend-independent; under
+     * Mmap counterexample traces are reconstructible even with
+     * compaction on (sealed cells persist in the backing file).
+     */
+    StoreBackend storeBackend = StoreBackend::InRam;
+
+    /** Mmap backend: backing-file directory ("" = anonymous
+     * in-memory files). */
+    std::string storeDir;
+
+    /**
      * Pre-size the visited set for this many states (0 = default
      * sizing): eliminates rehash pauses and keeps the probe load
      * factor <= 0.5 through a run of the expected size.  A hint, not
@@ -169,9 +185,12 @@ struct ExploreOptions {
     /**
      * Resident-set ceiling in bytes (0 = none), sampled from
      * /proc/self/statm by the governor at flush granularity.  The
-     * ceiling is process-wide RSS, not per-run allocation, and the
-     * stop is detected one sample stride after the crossing — treat
-     * it as a safety net, not an exact budget.
+     * ceiling is process-wide *anonymous* RSS — resident minus
+     * file-backed pages — so the mmap store backends' mappings
+     * (which the kernel reclaims by writeback, not swap) do not
+     * count against it.  Not per-run allocation, and the stop is
+     * detected one sample stride after the crossing — treat it as a
+     * safety net, not an exact budget.
      */
     std::uint64_t maxRssBytes = 0;
 
@@ -321,6 +340,15 @@ struct ExploreResult {
      * up to here are trustworthy even in a partial result.
      */
     std::uint32_t deepestCompleteLevel = 0;
+
+    /** Bytes still mapped by the store's file-backed shard memory at
+     * the end of the run (0 for the InRam backend) — the out-of-core
+     * mapped window. */
+    std::uint64_t storeMappedBytes = 0;
+
+    /** Final total size of the store's backing files (0 for InRam);
+     * how much state the run spilled out of core. */
+    std::uint64_t storeFileBytes = 0;
 };
 
 /**

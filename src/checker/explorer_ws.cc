@@ -296,13 +296,22 @@ Explorer::runWorkSteal(const ExploreOptions &options)
         por.emplace(rules_, options.symmetryReduction,
                     options.canonicaliseTids);
 
-    StateStore store(1 << 16,
-                     options.compaction ? StoreMode::Compact
-                                        : StoreMode::Full,
-                     options.storeCapacity);
+    StateStore store(StoreConfig{
+        1 << 16,
+        options.compaction ? StoreMode::Compact : StoreMode::Full,
+        options.storeBackend, options.storeDir,
+        options.storeCapacity});
     if (options.expectedStates != 0)
         store.reserveStates(options.expectedStates);
     Context ctx{&scenario_};
+
+    // Every return goes through here so the out-of-core byte
+    // counters ride along (finish() is declared before the store).
+    auto finishRun = [&](ExploreResult &r) -> ExploreResult & {
+        r.storeMappedBytes = store.mappedBytes();
+        r.storeFileBytes = store.backingFileBytes();
+        return finish(r);
+    };
 
     // The run's stop word (see explorer.cc): every budget and the
     // maxStates cap trip it; workers check it at claim granularity
@@ -368,7 +377,7 @@ Explorer::runWorkSteal(const ExploreOptions &options)
             if (options.stopAtFirstViolation) {
                 result.numStates = store.size();
                 result.probeCollisions = store.probeCollisions();
-                return finish(result);
+                return finishRun(result);
             }
         }
     }
@@ -880,7 +889,7 @@ Explorer::runWorkSteal(const ExploreOptions &options)
     } else {
         result.deepestCompleteLevel = result.maxDepth;
     }
-    return finish(result);
+    return finishRun(result);
 }
 
 } // namespace cxl

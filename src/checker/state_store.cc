@@ -1,181 +1,47 @@
 #include "checker/state_store.hh"
 
 #include <algorithm>
-#include <cstring>
-#include <stdexcept>
 
 namespace cxl
 {
-namespace
+
+StateStore::StateStore(const StoreConfig &config)
+    : mode_(config.mode), backend_(config.backend)
 {
-
-/** Smallest power of two >= n, floored at 16. */
-std::size_t
-pow2AtLeast(std::size_t n)
-{
-    std::size_t cap = 16;
-    while (cap < n)
-        cap <<= 1;
-    return cap;
-}
-
-/**
- * Zero-RLE codec for compact-mode state cells.  Reachable states are
- * sparse — most channel slots are empty and InlineVec zeroes its
- * tail — so run-length-eliding the zero bytes shrinks a ~240-byte
- * record to a few tens of bytes.  Cell layout:
- *
- *   [payload_len:u16] ([zero_run:u8][lit_len:u8][lit bytes...])*
- *
- * Decoding starts from an all-zero record, so a cell reproduces the
- * active prefix bit-exactly.  If the greedy pair encoding would ever
- * exceed the all-literal fallback (pathologically alternating bytes),
- * the cell is emitted as plain <=255-byte literal chunks instead,
- * which is what bounds StateStore::kMaxEncodedState.
- */
-std::uint16_t
-encodeCell(const SystemState &state, std::byte *dst)
-{
-    const auto *src = reinterpret_cast<const unsigned char *>(&state);
-    const std::size_t len = state.activeBytes();
-
-    // Worst-case greedy output: 2 bytes of pair overhead per literal
-    // island; islands are at least 1 byte, so 3x the input bounds it.
-    unsigned char tmp[2 + 3 * sizeof(SystemState) + 8];
-    std::size_t pos = 0;
-    std::size_t i = 0;
-    while (i < len) {
-        std::size_t zeros = 0;
-        while (i + zeros < len && src[i + zeros] == 0)
-            ++zeros;
-        if (i + zeros == len)
-            break; // trailing zeros are implicit
-        std::size_t lit = 0;
-        while (i + zeros + lit < len && src[i + zeros + lit] != 0)
-            ++lit;
-        std::size_t z = zeros, l = lit, at = i + zeros;
-        while (z > 255) {
-            tmp[pos++] = 255;
-            tmp[pos++] = 0;
-            z -= 255;
-        }
-        while (l > 255) {
-            tmp[pos++] = static_cast<unsigned char>(z);
-            tmp[pos++] = 255;
-            std::memcpy(tmp + pos, src + at, 255);
-            pos += 255;
-            at += 255;
-            l -= 255;
-            z = 0;
-        }
-        tmp[pos++] = static_cast<unsigned char>(z);
-        tmp[pos++] = static_cast<unsigned char>(l);
-        std::memcpy(tmp + pos, src + at, l);
-        pos += l;
-        i += zeros + lit;
-    }
-
-    // All-literal fallback size (the kMaxEncodedState bound).
-    const std::size_t fallback = len + 2 * (len / 255 + 1);
-    if (pos > fallback) {
-        pos = 0;
-        std::size_t at = 0, rest = len;
-        while (rest > 0) {
-            const std::size_t l = std::min<std::size_t>(rest, 255);
-            tmp[pos++] = 0;
-            tmp[pos++] = static_cast<unsigned char>(l);
-            std::memcpy(tmp + pos, src + at, l);
-            pos += l;
-            at += l;
-            rest -= l;
-        }
-    }
-
-    const auto payload = static_cast<std::uint16_t>(pos);
-    std::memcpy(dst, &payload, 2);
-    std::memcpy(dst + 2, tmp, pos);
-    return static_cast<std::uint16_t>(2 + pos);
-}
-
-/** Inverse of encodeCell; @p out is fully overwritten. */
-void
-decodeCell(const std::byte *cell, SystemState &out)
-{
-    std::memset(&out, 0, sizeof(SystemState));
-    auto *dst = reinterpret_cast<unsigned char *>(&out);
-    std::uint16_t payload = 0;
-    std::memcpy(&payload, cell, 2);
-    const auto *src = reinterpret_cast<const unsigned char *>(cell) + 2;
-    std::size_t pos = 0, at = 0;
-    while (pos < payload) {
-        at += src[pos];
-        const std::size_t lit = src[pos + 1];
-        std::memcpy(dst + at, src + pos + 2, lit);
-        at += lit;
-        pos += 2 + lit;
-    }
-}
-
-} // namespace
-
-StateStore::StateStore(std::size_t initial_buckets, StoreMode mode,
-                       std::uint64_t capacity_limit)
-    : mode_(mode)
-{
-    const std::size_t per_shard =
-        pow2AtLeast(initial_buckets / kNumShards);
     // The per-shard ceiling from a total-state capacity: hashing
     // spreads entries near-uniformly, so the first shard to fill does
     // so at roughly capacity/kNumShards — close enough for a budget.
     std::uint32_t limit = kOffsetMask;
-    if (capacity_limit != 0) {
-        const std::uint64_t per =
-            std::max<std::uint64_t>(1, capacity_limit / kNumShards);
+    if (config.capacityLimit != 0) {
+        const std::uint64_t per = std::max<std::uint64_t>(
+            1, config.capacityLimit / kNumShards);
         limit = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(per, kOffsetMask));
     }
+    const std::size_t per_shard_buckets =
+        config.initialBuckets / kNumShards;
     for (Shard &shard : shards_) {
         shard.limit = limit;
-        shard.buckets.assign(per_shard, 0);
-        shard.mask = per_shard - 1;
-        // Fully reserve the arena (and offset-column) spines: they
-        // must never reallocate, because readers index them lock-free
-        // (see stateAt / stateInto).  Same for the depth-chunk spine,
-        // which depthAt() walks lock-free in both modes.
-        shard.depths.reserve((kOffsetMask >> kOffChunkBits) + 1);
-        if (mode_ == StoreMode::Full) {
-            shard.blocks.reserve((kOffsetMask >> kBlockBits) + 1);
-        } else {
-            // Compact cells are offset-addressed with 32 bits per
-            // shard: up to 4 GiB of compressed frontier per shard,
-            // far beyond the retained working set of any feasible
-            // run.
-            shard.blocks.reserve(
-                (std::uint64_t{1} << 32) >> kByteBlockBits);
-            shard.stateOffs.reserve((kOffsetMask >> kOffChunkBits) +
-                                    1);
-        }
+        shard.mem = makeShardMem(backend_, config.dir);
+        shard.arena.init(shard.mem.get(), mode_, kOffsetMask);
+        // Fingerprints are the identity in compact mode; full-mode
+        // recoverable backends keep them too, to dedup against sealed
+        // (unmapped) entries without refaulting their blocks.
+        needsVerify_ = mode_ == StoreMode::Compact ||
+                       shard.arena.recoverable();
+        shard.cols.init(shard.mem.get(), needsVerify_,
+                        per_shard_buckets, kOffsetMask);
     }
 }
 
 void
 StateStore::reserveStates(std::uint64_t expected)
 {
-    const std::size_t per_shard = static_cast<std::size_t>(
-        expected / kNumShards + 1);
+    const auto per_shard =
+        static_cast<std::size_t>(expected / kNumShards + 1);
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        // Buckets at 2x the entry hint keep the load factor <= 0.5
-        // through the expected run, so probes stay short and no
-        // rehash pause lands mid-exploration.
-        const std::size_t cap = pow2AtLeast(2 * per_shard);
-        if (cap > shard.mask + 1)
-            sizeBuckets(shard, cap);
-        shard.hashes.reserve(per_shard);
-        if (mode_ == StoreMode::Compact)
-            shard.verifies.reserve(per_shard);
-        shard.parents.reserve(per_shard);
-        shard.rules.reserve(per_shard);
+        shard.cols.reserveEntries(per_shard);
     }
 }
 
@@ -185,15 +51,10 @@ StateStore::stateInto(std::uint32_t id, SystemState &out) const
     const Shard &shard = shards_[shardOf(id)];
     const std::uint32_t off = id & kOffsetMask;
     if (mode_ == StoreMode::Full) {
-        out = *blockState(shard, off);
+        out = *shard.arena.fullAtCold(off);
         return;
     }
-    const std::uint32_t byte_off = stateOffAt(shard, off);
-    assert(byte_off >= shard.byteFloor &&
-           "state released by sealLevel");
-    decodeCell(shard.blocks[byte_off >> kByteBlockBits].get() +
-                   (byte_off & (kByteBlockSize - 1)),
-               out);
+    shard.arena.cellInto(off, out);
 }
 
 std::pair<std::uint32_t, bool>
@@ -202,12 +63,12 @@ StateStore::insert(const SystemState &state, std::uint64_t hash,
                    std::uint32_t depth)
 {
     // Route by the top bits; probe by the low bits, so the two index
-    // streams stay independent.  The verification fingerprint
-    // (compact mode) is computed before the lock is taken.
-    const std::uint32_t shard_idx =
+    // streams stay independent.  The verification fingerprint is
+    // computed before the lock is taken.
+    const auto shard_idx =
         static_cast<std::uint32_t>(hash >> (64 - kShardBits));
     const std::uint64_t verify =
-        mode_ == StoreMode::Compact ? state.fingerprint() : 0;
+        needsVerify_ ? state.fingerprint() : 0;
     Shard &shard = shards_[shard_idx];
 
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -224,11 +85,11 @@ StateStore::insertBatch(BatchItem *items, std::size_t count)
 
     constexpr std::uint32_t kEnd = 0xffffffffu;
 
-    // Fingerprints (compact mode) are computed before any lock.
-    // (Cell compression happens under the lock instead, but only for
-    // the ~third of successors that turn out to be new — cheaper in
-    // aggregate than encoding every duplicate up front.)
-    if (mode_ == StoreMode::Compact) {
+    // Fingerprints are computed before any lock.  (Cell compression
+    // happens under the lock instead, but only for the ~third of
+    // successors that turn out to be new — cheaper in aggregate than
+    // encoding every duplicate up front.)
+    if (needsVerify_) {
         for (std::size_t i = 0; i < count; ++i)
             items[i].verify_ = items[i].state.fingerprint();
     }
@@ -278,113 +139,76 @@ StateStore::probeInsertLocked(std::uint32_t shard_idx, Shard &shard,
                               std::uint16_t rule_id,
                               std::uint32_t depth)
 {
+    ShardColumns &cols = shard.cols;
     // Grow at 3/4 load; power-of-two capacity keeps the probe a mask.
-    if ((static_cast<std::uint64_t>(shard.count) + 1) * 4 >=
-        (shard.mask + 1) * 3)
-        growShard(shard);
+    cols.maybeGrow();
 
-    std::uint64_t slot = hash & shard.mask;
+    std::uint64_t slot = hash & cols.mask();
     for (;;) {
-        const std::uint32_t bucket = shard.buckets[slot];
+        const std::uint32_t bucket = cols.bucketAt(slot);
         if (bucket == 0)
             break;
         const std::uint32_t off = bucket - 1;
-        if (shard.hashes[off] == hash) {
+        if (cols.hashAt(off) == hash) {
             // Identity: in compact mode the verification fingerprint,
-            // in full mode the state bytes.  A probe-hash match with
-            // an identity mismatch is a detected collision — the
-            // states stay distinct and the probe continues.
-            if (mode_ == StoreMode::Compact
-                    ? shard.verifies[off] == verify
-                    : *blockState(shard, off) == state) {
+            // in full mode the state bytes (falling back to the
+            // fingerprint when the entry's block has been sealed cold
+            // — see the class comment).  A probe-hash match with an
+            // identity mismatch is a detected collision — the states
+            // stay distinct and the probe continues.
+            bool same;
+            if (mode_ == StoreMode::Compact) {
+                same = cols.verifyAt(off) == verify;
+            } else if (const SystemState *stored =
+                           shard.arena.fullIfMapped(off)) {
+                same = *stored == state;
+            } else {
+                same = cols.verifyAt(off) == verify;
+            }
+            if (same) {
                 const std::uint32_t id =
                     (shard_idx << kOffsetBits) | off;
                 // Label-correcting duplicate: a shorter path to a
                 // known state relabels its breadcrumbs (async
                 // schedule; BFS duplicates are never shallower).
-                std::atomic<std::uint32_t> &cell =
-                    depthCell(shard, off);
-                if (depth <
-                    cell.load(std::memory_order_relaxed)) {
+                std::atomic<std::uint32_t> &cell = cols.depthCell(off);
+                if (depth < cell.load(std::memory_order_relaxed)) {
                     cell.store(depth, std::memory_order_relaxed);
-                    shard.parents[off] = parent;
-                    shard.rules[off] = rule_id;
+                    cols.setParent(off, parent);
+                    cols.setRule(off, rule_id);
                     return {id, false, true};
                 }
                 return {id, false, false};
             }
-            ++shard.collisions;
+            cols.bumpCollisions();
         }
-        slot = (slot + 1) & shard.mask;
+        slot = (slot + 1) & cols.mask();
     }
 
     // kOffsetMask itself is unusable: shard kNumShards-1 would pack
     // it to the kNoParent sentinel.  The per-run limit (when set) is
     // always <= that.
-    if (shard.count >= shard.limit) {
+    if (cols.count() >= shard.limit) {
         throw StoreFullError(
             shard_idx,
             "StateStore shard " + std::to_string(shard_idx) +
-                " full (" + std::to_string(shard.limit) +
-                " entries); pre-size with --expect-states or switch "
-                "to the hash-compacted store (--compact)");
+                " full (per-shard limit " +
+                std::to_string(shard.limit) +
+                " entries); pre-size with --expect-states, raise the "
+                "run's state budget, or pick another store kind "
+                "(--store=ram|ram-compact|mmap|mmap-compact: compact "
+                "kinds cut bytes/state ~10x, mmap kinds page sealed "
+                "levels out of core)");
     }
 
-    const std::uint32_t off = shard.count++;
-    shard.hashes.push_back(hash);
-    shard.parents.push_back(parent);
-    shard.rules.push_back(rule_id);
-    const std::uint32_t depth_chunk = off >> kOffChunkBits;
-    if (depth_chunk == shard.depths.size()) {
-        shard.depths.emplace_back(
-            new std::atomic<std::uint32_t>[1u << kOffChunkBits]);
-    }
-    depthCell(shard, off).store(depth, std::memory_order_relaxed);
+    const std::uint32_t off =
+        cols.append(hash, verify, parent, rule_id, depth);
+    if (mode_ == StoreMode::Full)
+        shard.arena.placeFull(off, state);
+    else
+        shard.arena.appendCell(shard_idx, off, state);
 
-    if (mode_ == StoreMode::Full) {
-        const std::uint32_t block = off >> kBlockBits;
-        if (block == shard.blocks.size())
-            shard.blocks.emplace_back(
-                new std::byte[static_cast<std::size_t>(kBlockSize) *
-                              sizeof(SystemState)]);
-        new (shard.blocks[block].get() +
-             static_cast<std::size_t>(off & (kBlockSize - 1)) *
-                 sizeof(SystemState)) SystemState(state);
-    } else {
-        shard.verifies.push_back(verify);
-        std::byte enc[kMaxEncodedState];
-        const std::uint16_t enc_len = encodeCell(state, enc);
-        // A cell never straddles byte blocks; skip a too-small tail.
-        std::uint64_t at = shard.byteCursor;
-        if ((at & (kByteBlockSize - 1)) + enc_len > kByteBlockSize)
-            at = (at | (kByteBlockSize - 1)) + 1;
-        if (at + enc_len > (std::uint64_t{1} << 32)) {
-            throw StoreFullError(
-                shard_idx,
-                "StateStore shard " + std::to_string(shard_idx) +
-                    " compact arena offset space exhausted (4 GiB of "
-                    "encoded frontier); pre-size with "
-                    "--expect-states so sealing keeps up, or lower "
-                    "the run's budgets");
-        }
-        const std::uint32_t block =
-            static_cast<std::uint32_t>(at >> kByteBlockBits);
-        while (block >= shard.blocks.size())
-            shard.blocks.emplace_back(
-                new std::byte[kByteBlockSize]);
-        std::memcpy(shard.blocks[block].get() +
-                        (at & (kByteBlockSize - 1)),
-                    enc, enc_len);
-        const std::uint32_t chunk = off >> kOffChunkBits;
-        if (chunk == shard.stateOffs.size())
-            shard.stateOffs.emplace_back(
-                new std::uint32_t[1u << kOffChunkBits]);
-        shard.stateOffs[chunk][off & ((1u << kOffChunkBits) - 1)] =
-            static_cast<std::uint32_t>(at);
-        shard.byteCursor = at + enc_len;
-    }
-
-    shard.buckets[slot] = off + 1;
+    cols.setBucket(slot, off + 1);
     total_.fetch_add(1, std::memory_order_release);
     return {(shard_idx << kOffsetBits) | off, true, false};
 }
@@ -394,10 +218,10 @@ StateStore::maxDepthQuiescent() const
 {
     std::uint32_t deepest = 0;
     for (const Shard &shard : shards_) {
-        for (std::uint32_t off = 0; off < shard.count; ++off) {
-            deepest = std::max(
-                deepest, depthCell(shard, off)
-                             .load(std::memory_order_relaxed));
+        for (std::uint32_t off = 0; off < shard.cols.count(); ++off) {
+            deepest = std::max(deepest,
+                               shard.cols.depthCell(off).load(
+                                   std::memory_order_relaxed));
         }
     }
     return deepest;
@@ -408,9 +232,9 @@ StateStore::countDepthAtMost(std::uint32_t depth) const
 {
     std::uint64_t total = 0;
     for (const Shard &shard : shards_) {
-        for (std::uint32_t off = 0; off < shard.count; ++off) {
-            if (depthCell(shard, off)
-                    .load(std::memory_order_relaxed) <= depth)
+        for (std::uint32_t off = 0; off < shard.cols.count(); ++off) {
+            if (shard.cols.depthCell(off).load(
+                    std::memory_order_relaxed) <= depth)
                 ++total;
         }
     }
@@ -420,22 +244,9 @@ StateStore::countDepthAtMost(std::uint32_t depth) const
 void
 StateStore::sealLevel()
 {
-    if (mode_ != StoreMode::Compact)
-        return;
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        // Cells below the previous boundary belong to levels whose
-        // expansion has finished; their state bytes will never be
-        // read again.  Release whole byte blocks only — a partial
-        // tail block is shared with the still-needed frontier.
-        const std::uint64_t floor_block =
-            shard.levelBoundaryByte >> kByteBlockBits;
-        for (std::uint64_t b = shard.byteFloor >> kByteBlockBits;
-             b < floor_block; ++b)
-            shard.blocks[b].reset();
-        shard.byteFloor = std::max(shard.byteFloor,
-                                   floor_block << kByteBlockBits);
-        shard.levelBoundaryByte = shard.byteCursor;
+        shard.arena.seal(shard.cols.count());
     }
 }
 
@@ -444,30 +255,26 @@ StateStore::probeCollisions() const
 {
     std::uint64_t total = 0;
     for (const Shard &shard : shards_)
-        total += shard.collisions;
+        total += shard.cols.collisions();
     return total;
 }
 
-void
-StateStore::sizeBuckets(Shard &shard, std::size_t cap)
+std::uint64_t
+StateStore::mappedBytes() const
 {
-    shard.buckets.assign(cap, 0);
-    shard.mask = cap - 1;
-    // Rehash from the stored probe hashes — state bytes are never
-    // touched, which also makes growth possible in compact mode where
-    // old state bytes may already be released.
-    for (std::uint32_t off = 0; off < shard.count; ++off) {
-        std::uint64_t slot = shard.hashes[off] & shard.mask;
-        while (shard.buckets[slot] != 0)
-            slot = (slot + 1) & shard.mask;
-        shard.buckets[slot] = off + 1;
-    }
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.mem->mappedBytes();
+    return total;
 }
 
-void
-StateStore::growShard(Shard &shard)
+std::uint64_t
+StateStore::backingFileBytes() const
 {
-    sizeBuckets(shard, (shard.mask + 1) * 2);
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.mem->backingFileBytes();
+    return total;
 }
 
 } // namespace cxl

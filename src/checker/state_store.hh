@@ -1,22 +1,38 @@
 /**
  * @file
- * Visited-state store of the explicit-state checker.
+ * Visited-state store of the explicit-state checker: the engine-facing
+ * façade over three layers.
  *
  * The store is sharded for concurrency: a state's 64-bit probe hash
  * routes it (top bits) to one of kNumShards lock-striped shards, each
- * a power-of-two open-addressing table over a flat uint32_t bucket
- * array.  Entry data is struct-of-arrays: parallel per-shard columns
- * for the probe hash, the verification fingerprint (compact mode),
- * parent/rule/depth breadcrumbs, and the state bytes themselves in a
- * chunked arena of fixed-size blocks whose addresses never move.
- * Shard growth rehashes from the stored probe hashes, never from
- * state bytes.
+ * a power-of-two open-addressing table.  This façade owns the
+ * probe/insert/batch algorithm, packed-id semantics and the
+ * per-shard locks; the data lives in two layers below it, both
+ * allocated from a per-shard memory backend:
  *
- * Two storage modes (StoreMode):
+ *  - ShardColumns (store_columns.hh): the struct-of-arrays entry
+ *    columns — probe hash, verification fingerprint, parent, rule,
+ *    chunked atomic depth — plus the bucket array.  Shard growth
+ *    rehashes from the stored probe hashes, never from state bytes.
+ *  - StateArena (store_arena.hh): the state bytes, as verbatim
+ *    full-mode blocks or zero-RLE compact cells, with the
+ *    sealLevel() block-release machinery.
+ *  - ShardMem (store_mem.hh): where both layers get memory.  InRam
+ *    is the classic heap layout; Mmap gives every shard file-backed
+ *    growable mappings (anonymous memfd, or files under an explicit
+ *    directory) so sealed BFS levels can be unmapped — address space
+ *    and residency track the frontier window, the backing file keeps
+ *    every byte, and dropped blocks are remapped on demand.
+ *
+ * Two storage modes (StoreMode, declared with the arena):
  *
  *  - Full: the classic Murphi layout.  States are kept verbatim, so
  *    deduplication is exact and counterexample traces can be rebuilt
- *    from the breadcrumbs.
+ *    from the breadcrumbs.  (On the Mmap backend, entries whose
+ *    blocks have been sealed cold are deduplicated by their stored
+ *    64-bit verification fingerprint instead of refaulting the block
+ *    — detected-collision semantics identical to compact mode for
+ *    exactly those entries; the mapped window still compares bytes.)
  *  - Compact: Murphi hash compaction.  Only a second 64-bit
  *    verification fingerprint is kept per entry; the frontier's state
  *    bytes live zero-RLE-compressed in a transient byte arena whose
@@ -26,12 +42,14 @@
  *    probeCollisions()) and the states stay distinct; an undetected
  *    merge requires both 64-bit values to collide — expected
  *    occurrences ~ n^2 / 2^65 for n states.  Traces cannot be
- *    rebuilt in this mode.
+ *    rebuilt in this mode on the InRam backend; on Mmap the sealed
+ *    cells persist in the backing file, so they can.
  *
  * State identifiers are (shard, offset) pairs packed into a u32:
  * the top kShardBits select the shard, the low kOffsetBits index the
  * shard's entry columns.  Packed ids are stable for the lifetime of
- * the store and never collide with kNoParent.
+ * the store, identical across backends, and never collide with
+ * kNoParent.
  *
  * Thread-safety: insert() and insertBatch() may be called
  * concurrently from any number of threads.  stateAt()/stateInto()
@@ -62,22 +80,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <new>
 #include <stdexcept>
 #include <string>
 #include <utility>
-#include <vector>
 
+#include "checker/store_arena.hh"
+#include "checker/store_columns.hh"
+#include "checker/store_mem.hh"
 #include "protocol/state.hh"
 
 namespace cxl
 {
-
-/** Storage policy of a StateStore. */
-enum class StoreMode : std::uint8_t {
-    Full,    ///< keep every state; exact dedup; traces reconstructible
-    Compact, ///< hash compaction: 64-bit fingerprints instead of states
-};
 
 /**
  * A StateStore shard ran out of room: its entry count reached the
@@ -86,8 +99,8 @@ enum class StoreMode : std::uint8_t {
  * compact-mode shard exhausted its 32-bit arena offset space.  The
  * explorers catch this and convert it into a graceful governed stop
  * (StopReason::ShardFull) — the explored prefix stays a valid
- * partial result.  what() names the shard and suggests
- * `--expect-states`/`--compact`.
+ * partial result.  what() names the shard, its computed entry limit
+ * and the available --store kinds.
  */
 class StoreFullError : public std::length_error
 {
@@ -102,6 +115,29 @@ class StoreFullError : public std::length_error
 
   private:
     std::uint32_t shard_;
+};
+
+/** Construction parameters of a StateStore (see the file comment for
+ * what each axis selects). */
+struct StoreConfig {
+    /** Total bucket hint, split across shards. */
+    std::size_t initialBuckets = 1 << 16;
+    /** Full (verbatim states) or Compact (hash compaction). */
+    StoreMode mode = StoreMode::Full;
+    /** Heap or file-backed (out-of-core) shard memory. */
+    StoreBackend backend = StoreBackend::InRam;
+    /** Mmap backend: backing directory; "" = anonymous in-memory
+     * files (memfd). */
+    std::string dir;
+    /**
+     * Total-state ceiling enforced per shard (each shard holds at
+     * most max(1, capacityLimit / kNumShards) entries; inserts beyond
+     * that throw StoreFullError).  0 means the architectural
+     * per-shard maximum.  Exists so the shard-full path is testable
+     * without 2^28 inserts, and as the contract point for bounded
+     * runs.
+     */
+    std::uint64_t capacityLimit = 0;
 };
 
 /** Sharded dense store of deduplicated states with BFS breadcrumbs. */
@@ -121,25 +157,16 @@ class StateStore
     static constexpr std::uint32_t kOffsetMask =
         (1u << kOffsetBits) - 1;
 
-    /** log2 of the states per full-mode arena block (~2 MB). */
-    static constexpr std::uint32_t kBlockBits = 13;
-    /** States per full-mode arena block. */
+    /** Layer constants re-exported for existing callers/tests. */
+    static constexpr std::uint32_t kBlockBits =
+        StateArena::kFullBlockBitsRam;
     static constexpr std::uint32_t kBlockSize = 1u << kBlockBits;
-
-    /** log2 of the compact-mode byte-arena block size (256 KiB). */
-    static constexpr std::uint32_t kByteBlockBits = 18;
-    /** Compact-mode byte-arena block size. */
+    static constexpr std::uint32_t kByteBlockBits =
+        StateArena::kByteBlockBits;
     static constexpr std::uint32_t kByteBlockSize =
         1u << kByteBlockBits;
-
-    /**
-     * Upper bound on one zero-RLE-encoded state cell: 2-byte payload
-     * length plus, in the worst (incompressible) case, the literal
-     * bytes emitted in <=255-byte chunks with 2 bytes of pair
-     * overhead each.
-     */
     static constexpr std::size_t kMaxEncodedState =
-        2 + sizeof(SystemState) + 2 * (sizeof(SystemState) / 255 + 1);
+        StateArena::kMaxEncodedState;
 
     /**
      * One pending insert of a batched flush.  The caller fills state,
@@ -161,24 +188,21 @@ class StateStore
 
       private:
         friend class StateStore;
-        std::uint64_t verify_ = 0; ///< fingerprint (compact mode)
+        std::uint64_t verify_ = 0; ///< fingerprint (compact/mmap)
         std::uint32_t next_ = 0;   ///< shard-chain scratch
     };
 
-    /**
-     * @param initial_buckets total bucket hint, split across shards.
-     * @param mode Full (default) or Compact storage.
-     * @param capacity_limit total-state ceiling enforced per shard
-     *        (each shard holds at most
-     *        max(1, capacity_limit / kNumShards) entries; inserts
-     *        beyond that throw StoreFullError).  0 means the
-     *        architectural per-shard maximum.  Exists so the
-     *        shard-full path is testable without 2^28 inserts, and
-     *        as the contract point for out-of-core stores.
-     */
+    explicit StateStore(const StoreConfig &config);
+
+    /** Legacy convenience: InRam backend with the given knobs. */
     explicit StateStore(std::size_t initial_buckets = 1 << 16,
                         StoreMode mode = StoreMode::Full,
-                        std::uint64_t capacity_limit = 0);
+                        std::uint64_t capacity_limit = 0)
+        : StateStore(StoreConfig{initial_buckets, mode,
+                                 StoreBackend::InRam, std::string(),
+                                 capacity_limit})
+    {
+    }
 
     StateStore(const StateStore &) = delete;
     StateStore &operator=(const StateStore &) = delete;
@@ -207,9 +231,9 @@ class StateStore
     /**
      * Insert with a precomputed probe hash.  Parallel workers hash
      * outside the shard lock and pass the value here so the lock only
-     * covers the probe/append.  (In compact mode the verification
-     * fingerprint is always computed internally from the state bytes —
-     * it is the identity, not a routing hint, so it cannot be forged.)
+     * covers the probe/append.  (The verification fingerprint, where
+     * kept, is always computed internally from the state bytes — it
+     * is the identity, not a routing hint, so it cannot be forged.)
      */
     std::pair<std::uint32_t, bool>
     insert(const SystemState &state, std::uint64_t hash,
@@ -229,35 +253,51 @@ class StateStore
 
     /**
      * Reference to the state bytes for a packed id; full mode only
-     * (compact-mode cells are compressed — use stateInto).  See the
-     * class comment for thread-safety.
+     * (compact-mode cells are compressed — use stateInto), and only
+     * for ids whose arena block is still mapped (all of them on
+     * InRam; the frontier window on Mmap — sealed ids go through
+     * stateInto).  See the class comment for thread-safety.
      */
     const SystemState &
     stateAt(std::uint32_t id) const
     {
         assert(mode_ == StoreMode::Full &&
                "stateAt needs verbatim states; use stateInto");
-        return *blockState(shards_[shardOf(id)], id & kOffsetMask);
+        return *shards_[shardOf(id)].arena.fullAt(id & kOffsetMask);
     }
 
     /**
      * Copy/decode the state bytes for a packed id into @p out.  Works
-     * in both modes; in compact mode the entry must still be retained
-     * (the explorer only reads ids of the frontier being expanded,
-     * which always are).
+     * in both modes; the entry must still be retained (see
+     * stateRetained — on recoverable backends every entry is, with
+     * sealed blocks remapped on demand, in which case the call must
+     * hold no expectation of lock-freedom: quiescent or shard-lock
+     * use only).
      */
     void stateInto(std::uint32_t id, SystemState &out) const;
 
-    /** True iff the state bytes of @p id are still readable (always,
-     * in full mode; in compact mode, until sealLevel releases the
-     * enclosing arena block). */
+    /** True iff the state bytes of @p id are still readable: always
+     * in full mode and on recoverable (Mmap) backends; in InRam
+     * compact mode, until sealLevel releases the enclosing arena
+     * block. */
     bool
     stateRetained(std::uint32_t id) const
     {
         if (mode_ == StoreMode::Full)
             return true;
-        const Shard &shard = shards_[shardOf(id)];
-        return stateOffAt(shard, id & kOffsetMask) >= shard.byteFloor;
+        return shards_[shardOf(id)].arena.cellRetained(id &
+                                                       kOffsetMask);
+    }
+
+    /** True iff stateInto works for *every* id ever returned — i.e.
+     * counterexample traces are reconstructible: full mode, or a
+     * recoverable backend whose sealed cells persist in the backing
+     * file. */
+    bool
+    statesAlwaysReadable() const
+    {
+        return mode_ == StoreMode::Full ||
+               shards_[0].arena.recoverable();
     }
 
     /** Breadcrumb accessors; quiescent use only (the columns may
@@ -265,12 +305,12 @@ class StateStore
     std::uint32_t
     parentAt(std::uint32_t id) const
     {
-        return shards_[shardOf(id)].parents[id & kOffsetMask];
+        return shards_[shardOf(id)].cols.parentAt(id & kOffsetMask);
     }
     std::uint16_t
     ruleAt(std::uint32_t id) const
     {
-        return shards_[shardOf(id)].rules[id & kOffsetMask];
+        return shards_[shardOf(id)].cols.ruleAt(id & kOffsetMask);
     }
 
     /**
@@ -283,7 +323,8 @@ class StateStore
     std::uint32_t
     depthAt(std::uint32_t id) const
     {
-        return depthCell(shards_[shardOf(id)], id & kOffsetMask)
+        return shards_[shardOf(id)]
+            .cols.depthCell(id & kOffsetMask)
             .load(std::memory_order_relaxed);
     }
 
@@ -296,16 +337,18 @@ class StateStore
     std::uint64_t countDepthAtMost(std::uint32_t depth) const;
 
     /**
-     * BFS level barrier hook; call only while quiescent.  In compact
-     * mode, releases the arena blocks of states older than the level
-     * that just finished expanding (their ids will never be read
-     * again) and records the new level boundary.  No-op in full mode.
+     * BFS level barrier hook; call only while quiescent.  Releases
+     * the arena blocks of states older than the level that just
+     * finished expanding (their bytes are no longer on the hot path)
+     * and records the new level boundary.  InRam compact mode frees
+     * them for good; Mmap backends unmap them — file keeps the bytes,
+     * reads recover them — in both modes.  No-op for InRam full.
      *
      * Sealing is a property of the depth-synchronized schedule only:
      * the work-stealing explorer expands depths out of order and so
-     * never calls this — under it every compact-mode cell stays
-     * retained (costing the memory the seal would have freed, but
-     * making counterexample traces reconstructible even in compact
+     * never calls this — under it every arena block stays mapped
+     * (costing the memory the seal would have freed, but making
+     * counterexample traces reconstructible even in InRam compact
      * mode).
      */
     void sealLevel();
@@ -319,6 +362,16 @@ class StateStore
 
     /** Storage mode selected at construction. */
     StoreMode mode() const { return mode_; }
+
+    /** Memory backend selected at construction. */
+    StoreBackend backend() const { return backend_; }
+
+    /** Bytes currently mapped by file-backed shard memory (0 on
+     * InRam).  Readable from any thread (relaxed counters). */
+    std::uint64_t mappedBytes() const;
+
+    /** Total size of the shards' backing files (0 on InRam). */
+    std::uint64_t backingFileBytes() const;
 
     /**
      * Probe-hash collisions observed so far: inserts whose 64-bit
@@ -338,74 +391,14 @@ class StateStore
     }
 
   private:
-    /** log2 of entries per chunk of the compact state-offset column. */
-    static constexpr std::uint32_t kOffChunkBits = 16;
-
     struct alignas(64) Shard {
         mutable std::mutex mutex;
-        // SoA entry columns, indexed by offset.
-        std::vector<std::uint64_t> hashes;   ///< probe hashes
-        std::vector<std::uint64_t> verifies; ///< fingerprints (compact)
-        std::vector<std::uint32_t> parents;
-        std::vector<std::uint16_t> rules;
-        /**
-         * Depth column, in fixed chunks of atomics: the spine is
-         * fully reserved and the chunks never move, so depthAt() can
-         * read lock-free while peers insert and improve.  Cells are
-         * written under the shard mutex with relaxed stores.
-         */
-        std::vector<std::unique_ptr<std::atomic<std::uint32_t>[]>>
-            depths;
-        /**
-         * State arena.  Full mode: fixed-slot blocks of kBlockSize
-         * verbatim states.  Compact mode: kByteBlockSize byte blocks
-         * holding zero-RLE cells located by the stateOffs column.
-         * Both spines are reserved to their maximum size up front so
-         * they never reallocate — concurrent readers may index them
-         * lock-free for entries published before their expansion
-         * phase began.
-         */
-        std::vector<std::unique_ptr<std::byte[]>> blocks;
-        /**
-         * Compact mode: per-entry arena byte offset, in fixed chunks
-         * (never reallocated) because workers read frontier offsets
-         * while peers append.
-         */
-        std::vector<std::unique_ptr<std::uint32_t[]>> stateOffs;
-        std::uint64_t byteCursor = 0; ///< compact: next free arena byte
-        std::uint64_t byteFloor = 0;  ///< compact: freed below this
-        std::uint64_t levelBoundaryByte = 0; ///< cursor at last seal
-        /// Bucket content is entry offset + 1; 0 means empty.
-        std::vector<std::uint32_t> buckets;
-        std::uint64_t mask = 0;
-        std::uint32_t count = 0;
+        std::unique_ptr<ShardMem> mem;
+        ShardColumns cols;
+        StateArena arena;
         /** Entry ceiling; inserting past it throws StoreFullError. */
         std::uint32_t limit = kOffsetMask;
-        std::uint64_t collisions = 0;
     };
-
-    static const SystemState *
-    blockState(const Shard &shard, std::uint32_t off)
-    {
-        const std::byte *base = shard.blocks[off >> kBlockBits].get();
-        return std::launder(reinterpret_cast<const SystemState *>(
-            base + static_cast<std::size_t>(off & (kBlockSize - 1)) *
-                       sizeof(SystemState)));
-    }
-
-    static std::uint32_t
-    stateOffAt(const Shard &shard, std::uint32_t off)
-    {
-        return shard.stateOffs[off >> kOffChunkBits]
-                              [off & ((1u << kOffChunkBits) - 1)];
-    }
-
-    static std::atomic<std::uint32_t> &
-    depthCell(const Shard &shard, std::uint32_t off)
-    {
-        return shard.depths[off >> kOffChunkBits]
-                           [off & ((1u << kOffChunkBits) - 1)];
-    }
 
     struct InsertOutcome {
         std::uint32_t id;
@@ -419,12 +412,16 @@ class StateStore
                       std::uint64_t verify, std::uint32_t parent,
                       std::uint16_t rule_id, std::uint32_t depth);
 
-    static void growShard(Shard &shard);
-    static void sizeBuckets(Shard &shard, std::size_t cap);
+    /** Whether entries carry a verification fingerprint (compact
+     * mode, and full mode on recoverable backends — see the file
+     * comment). */
+    bool needsVerify() const { return needsVerify_; }
 
     Shard shards_[kNumShards];
     std::atomic<std::uint64_t> total_{0};
     StoreMode mode_;
+    StoreBackend backend_;
+    bool needsVerify_;
 };
 
 } // namespace cxl

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Backend memory layer of the visited-state store.
+ *
+ * StateStore's shard columns and state arenas (store_columns.hh,
+ * store_arena.hh) never allocate directly: each shard owns one
+ * ShardMem that hands out the three allocation shapes the store
+ * needs, and the backend choice — plain heap or per-shard
+ * file-backed mappings — is made once here, invisibly to the layers
+ * above:
+ *
+ *  - flats: amortised-growable arrays (the SoA entry columns and the
+ *    probe bucket array).  Growing may move the base, so callers
+ *    re-read the returned pointer; flats are only touched under the
+ *    shard lock (or quiescent), matching that contract.
+ *  - chunks: fixed-size allocations whose address never moves (the
+ *    chunked atomic depth column and the compact-mode state-offset
+ *    column), so lock-free readers can walk them while peers insert.
+ *  - blocks: fixed-size, index-addressed arena blocks that can be
+ *    dropped (sealLevel) and — on backends with a backing file —
+ *    recovered later, because the bytes persist in the file.
+ *
+ * The Mmap backend gives every shard its own anonymous backing files
+ * (memfd, or O_TMPFILE/unlinked files under an explicit directory for
+ * true spill-to-disk), grown with ftruncate and remapped with
+ * mremap.  Dropping a sealed block munmaps it — address space and
+ * residency shrink, the file keeps the bytes — after advising the
+ * kernel the pages have gone cold, so a bounded mapped window walks
+ * the (unbounded) file as BFS levels seal.  That is what lets a
+ * space whose full-mode arena exceeds an address-space budget
+ * (`ulimit -v`) complete out of core.
+ *
+ * Thread-safety: all allocation calls are made under the owning
+ * shard's lock (or while quiescent).  The byte counters are atomics
+ * readable from any thread (bench/progress sampling).
+ */
+
+#ifndef CXL_CHECKER_STORE_MEM_HH
+#define CXL_CHECKER_STORE_MEM_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cxl
+{
+
+/** Which memory backend a StateStore's shards allocate from. */
+enum class StoreBackend : std::uint8_t {
+    InRam, ///< heap allocations; dropped blocks are freed for good
+    Mmap,  ///< per-shard file-backed mappings; dropped blocks persist
+};
+
+/** One shard's allocator (see the file comment for the shapes). */
+class ShardMem
+{
+  public:
+    /** Flat-region slots a shard uses (one growable array each). */
+    enum FlatId : unsigned {
+        kFlatHashes = 0,
+        kFlatVerifies,
+        kFlatParents,
+        kFlatRules,
+        kFlatBuckets,
+        kFlatCount,
+    };
+
+    virtual ~ShardMem() = default;
+
+    /**
+     * Grow flat region @p id to at least @p bytes (first call
+     * creates it).  Contents are preserved; the base may move —
+     * callers re-read the return value.  Never shrinks.
+     */
+    virtual void *flatGrow(unsigned id, std::size_t bytes) = 0;
+
+    /** Allocate @p bytes at an address that never moves. */
+    virtual void *chunkAlloc(std::size_t bytes) = 0;
+
+    /**
+     * Allocate arena block @p index (@p bytes each); blocks are
+     * created in index order, each at a stable address.
+     */
+    virtual void *blockAlloc(std::uint32_t index,
+                             std::size_t bytes) = 0;
+
+    /** Release block @p index's memory.  InRam frees it for good;
+     * Mmap unmaps the window (the backing file keeps the bytes). */
+    virtual void blockDrop(std::uint32_t index) = 0;
+
+    /** Re-map a dropped block; nullptr when the backend cannot
+     * (InRam).  Callers hold the shard lock or are quiescent. */
+    virtual void *blockRecover(std::uint32_t index) = 0;
+
+    /** True when dropped blocks can be recovered (a backing file
+     * holds their bytes). */
+    virtual bool recoverable() const = 0;
+
+    /** Bytes currently mapped/allocated by this shard's file-backed
+     * regions (0 for InRam: nothing is file-backed). */
+    virtual std::uint64_t mappedBytes() const { return 0; }
+
+    /** Total size of this shard's backing files (0 for InRam). */
+    virtual std::uint64_t backingFileBytes() const { return 0; }
+};
+
+/**
+ * Build one shard's allocator.  @p dir names the backing directory
+ * for StoreBackend::Mmap ("" = anonymous in-memory files); ignored
+ * for InRam.  On platforms without the required mmap surface the
+ * Mmap backend degrades to InRam (dropped blocks unrecoverable).
+ *
+ * @throws std::runtime_error when a backing file cannot be created.
+ */
+std::unique_ptr<ShardMem> makeShardMem(StoreBackend backend,
+                                       const std::string &dir);
+
+} // namespace cxl
+
+#endif // CXL_CHECKER_STORE_MEM_HH

@@ -13,6 +13,8 @@ ComboDesc::label() const
     out += por ? "/por" : "/-";
     out += sym ? "/sym" : "/-";
     out += compact ? "/compact" : "/full";
+    if (mmapStore)
+        out += "-mmap";
     out += "/t" + std::to_string(threads);
     return out;
 }
@@ -24,7 +26,11 @@ ComboDesc::engineOptions() const
     opt.schedule = schedule;
     opt.por = por;
     opt.symmetry = sym ? SymmetryMode::On : SymmetryMode::Off;
-    opt.store = compact ? StoreKind::Compact : StoreKind::Full;
+    opt.store = mmapStore
+                    ? (compact ? StoreKind::MmapCompact
+                               : StoreKind::Mmap)
+                    : (compact ? StoreKind::InRamCompact
+                               : StoreKind::InRam);
     opt.threads = threads;
     return opt;
 }
@@ -49,6 +55,11 @@ fullPortfolio(std::size_t threads)
             }
         }
     }
+    // One out-of-core arm: the mmap backend must agree bit-for-bit
+    // with the reference on verdicts and counts (the paging layer is
+    // below the probe algorithm, so any divergence is a store bug).
+    combos.push_back(
+        ComboDesc{Schedule::Bfs, false, false, false, threads, true});
     return combos;
 }
 
@@ -70,6 +81,10 @@ replayPortfolio(const std::vector<std::size_t> &threadCounts)
                                    threads});
         combos.push_back(ComboDesc{Schedule::WorkSteal, false, false,
                                    true, threads});
+        // And one mmap-backend probe, so replay also exercises the
+        // out-of-core path against the stored reference signature.
+        combos.push_back(ComboDesc{Schedule::Bfs, false, false, false,
+                                   threads, true});
     }
     return combos;
 }

@@ -2,7 +2,8 @@
  * @file
  * The cross-engine differential oracle: run one FuzzCase through a
  * portfolio of engine combinations — {bfs, work-steal} x {por on/off}
- * x {symmetry on/off} x {full/compact store} x thread counts — and
+ * x {symmetry on/off} x {full/compact store} x thread counts, plus
+ * one mmap-backend arm per portfolio — and
  * cross-check the VerdictSignatures under the engines' documented
  * guarantees.  Any disagreement those guarantees forbid is an engine
  * bug, reported as a divergence.
@@ -46,7 +47,13 @@ struct ComboDesc {
     bool compact = false;
     std::size_t threads = 1;
 
-    /** e.g. "ws/por/sym/compact/t4" ("bfs/-/-/full/t1"). */
+    /** Run this combo on the mmap backend of its compactness — the
+     * out-of-core arms that keep the differential oracle honest
+     * about backend-independence of verdicts and counts. */
+    bool mmapStore = false;
+
+    /** e.g. "ws/por/sym/compact/t4" ("bfs/-/-/full/t1"); mmap arms
+     * append "-mmap" to the store segment. */
     std::string label() const;
 
     EngineOptions engineOptions() const;

@@ -118,6 +118,8 @@ renderRequestJson(const Request &request)
         engine.num("threads", *k.threads);
     if (knob(k.symmetry.has_value()))
         engine.str("sym", symmetryWord(*k.symmetry));
+    if (knob(k.store.has_value()))
+        engine.str("store", storeKindWord(*k.store));
     if (knob(k.compact.has_value()))
         engine.boolean("compact", *k.compact);
     if (knob(k.por.has_value()))
@@ -194,6 +196,17 @@ requestFromJson(const std::string &text)
             k.threads = eng->get("threads")->asUint();
         if (eng->get("sym"))
             k.symmetry = symmetryFromWord(eng->getStr("sym"));
+        if (eng->get("store")) {
+            const std::string word = eng->getStr("store");
+            const std::optional<StoreKind> kind =
+                storeKindFromWord(word);
+            if (!kind) {
+                throw std::runtime_error(
+                    "unknown store kind '" + word +
+                    "' (want ram|ram-compact|mmap|mmap-compact)");
+            }
+            k.store = *kind;
+        }
         if (eng->get("compact"))
             k.compact = eng->getBool("compact");
         if (eng->get("por"))

@@ -142,8 +142,17 @@ resolveRequest(const Request &request, const EngineOptions &defaults,
         e.threads = static_cast<std::size_t>(*k.threads);
     if (k.symmetry)
         e.symmetry = *k.symmetry;
-    if (k.compact)
-        e.store = *k.compact ? StoreKind::Compact : StoreKind::Full;
+    // store picks the backend, then compact toggles the compacted
+    // variant of whatever kind is in force — same layering as the
+    // CLI's --store/--compact.
+    if (k.store)
+        e.store = *k.store;
+    if (k.compact) {
+        e.store = *k.compact
+                      ? storeKindCompacted(e.store)
+                      : (storeKindMmap(e.store) ? StoreKind::Mmap
+                                                : StoreKind::InRam);
+    }
     if (k.por)
         e.por = *k.por;
     if (k.schedule)
@@ -167,11 +176,15 @@ resolveRequest(const Request &request, const EngineOptions &defaults,
     // devices, config bits, families (sorted/deduped; the invariant
     // filter is order- and duplicate-insensitive), check kind, and
     // the engine knobs echoed in the JSON (resolved threads,
-    // resolved symmetry, store, por, schedule, the effective state
-    // cap) plus the deterministic rendering bit.  Excluded: budgets
-    // (maxSeconds/maxRssBytes/storeCapacity — they only matter to
-    // Incomplete results, which are never cached), expectedStates
-    // (presizing) and the progress knobs (observation only).
+    // resolved symmetry, the store's *compact bit*, por, schedule,
+    // the effective state cap) plus the deterministic rendering bit.
+    // Excluded: budgets (maxSeconds/maxRssBytes/storeCapacity — they
+    // only matter to Incomplete results, which are never cached),
+    // expectedStates (presizing), the progress knobs (observation
+    // only), and the store *backend*: ram and mmap spellings of the
+    // same compactness produce byte-identical JSON (the backend is
+    // deliberately not echoed there), so they collapse onto one
+    // cache entry and a ram-warmed cache serves mmap requests.
     const ProtocolConfig cfg =
         rr.check.config.value_or(fallback_config);
     std::vector<std::string> families =
@@ -193,7 +206,7 @@ resolveRequest(const Request &request, const EngineOptions &defaults,
                   "|d%d|c%02x|k%s|t%zu|y%d|m%d|p%d|h%s|x%llu|det%d",
                   ndev, configBits(cfg), check_word,
                   resolvedThreads(e.threads), sym_on ? 1 : 0,
-                  e.store == StoreKind::Compact ? 1 : 0,
+                  storeKindCompact(e.store) ? 1 : 0,
                   e.por ? 1 : 0,
                   e.schedule == Schedule::WorkSteal ? "ws" : "bfs",
                   static_cast<unsigned long long>(cap),

@@ -36,7 +36,7 @@ enum class StopReason : std::uint8_t {
     None = 0,  ///< no governed stop (completed, or violation-stopped)
     StateCap,  ///< ExploreOptions::maxStates reached
     Deadline,  ///< maxSeconds wall-clock budget exhausted
-    Memory,    ///< maxRssBytes resident-set ceiling exceeded
+    Memory,    ///< maxRssBytes anonymous-RSS ceiling exceeded
     Cancelled, ///< external CancelToken tripped (SIGINT/SIGTERM)
     ShardFull, ///< a StateStore shard reached its capacity
     /** A worker raised an unexpected exception; only used to drain
@@ -117,7 +117,7 @@ void uninstallSignalCancel();
  * unlimited. */
 struct GovernorLimits {
     double maxSeconds = 0;          ///< wall-clock budget; 0 = none
-    std::uint64_t maxRssBytes = 0;  ///< RSS ceiling; 0 = none
+    std::uint64_t maxRssBytes = 0;  ///< anon-RSS ceiling; 0 = none
     CancelToken cancel;             ///< external cancel; invalid = none
 };
 

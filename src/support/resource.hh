@@ -71,6 +71,57 @@ currentRssBytes()
 #endif
 }
 
+/**
+ * Current file-backed resident bytes of this process (0 when the
+ * platform offers no probe).  On Linux this is /proc/self/statm
+ * field 3 ("shared"): resident pages backed by a file — which is
+ * exactly what the mmap store kinds' mappings are, plus the text
+ * segment and shared libraries.  The kernel can reclaim these pages
+ * without swap by writing them back, so a memory ceiling should not
+ * count them the way it counts anonymous heap.
+ */
+inline std::uint64_t
+currentFileRssBytes()
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long size = 0, resident = 0, shared = 0;
+    const int got =
+        std::fscanf(f, "%llu %llu %llu", &size, &resident, &shared);
+    std::fclose(f);
+    if (got != 3)
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return static_cast<std::uint64_t>(shared) *
+           static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+    return 0;
+#endif
+}
+
+/**
+ * Current anonymous (non-file-backed) resident bytes: resident minus
+ * file-backed.  This is what a --max-rss-mb ceiling should meter —
+ * heap, columns, and decode buffers — so a run that pages its sealed
+ * levels through file-backed mmaps is not tripped for bytes the
+ * kernel can drop at will.  Falls back to currentRssBytes() where
+ * the split is unavailable, which only ever over-counts (safe: the
+ * ceiling trips earlier, never later).
+ */
+inline std::uint64_t
+currentAnonRssBytes()
+{
+#if defined(__linux__)
+    const std::uint64_t resident = currentRssBytes();
+    const std::uint64_t file = currentFileRssBytes();
+    return resident > file ? resident - file : 0;
+#else
+    return currentRssBytes();
+#endif
+}
+
 } // namespace cxl
 
 #endif // CXL_SUPPORT_RESOURCE_HH

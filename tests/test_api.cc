@@ -213,6 +213,7 @@ TEST(CheckResult, JsonSchemaKeysArePresentInOrder)
         "\"violated_conjunct\"", "\"violated_family\"",
         "\"violation_depth\"", "\"probe_hash_collisions\"",
         "\"peak_rss_bytes\"", "\"rss_delta_bytes\"",
+        "\"mapped_file_bytes\"", "\"store_file_bytes\"",
     };
     std::size_t at = 0;
     for (const char *key : keys) {

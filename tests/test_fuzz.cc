@@ -203,9 +203,10 @@ TEST(Oracle, PortfolioAgreesOnACorrectProgramScenario)
         << report.divergences.front();
     EXPECT_EQ(report.reference.verdict, "holds");
     EXPECT_TRUE(report.reference.exactCounts);
-    // Symmetry arms are skipped for program scenarios: 16 combos
-    // minus 8 sym arms, plus the reference.
-    EXPECT_EQ(report.runs.size(), 9u);
+    // Symmetry arms are skipped for program scenarios: 17 combos
+    // (the 16-way cross product plus the mmap arm) minus 8 sym arms,
+    // plus the reference.
+    EXPECT_EQ(report.runs.size(), 10u);
 }
 
 TEST(Oracle, PortfolioAgreesOnAMutatedViolatingScenario)
@@ -225,7 +226,7 @@ TEST(Oracle, PortfolioAgreesOnAMutatedViolatingScenario)
     EXPECT_FALSE(report.diverged())
         << report.divergences.front();
     EXPECT_EQ(report.reference.verdict, "violation");
-    EXPECT_EQ(report.runs.size(), 17u);
+    EXPECT_EQ(report.runs.size(), 18u);
 }
 
 TEST(Oracle, ComparesOnlySymInvariantFactsAcrossSymmetryClasses)

@@ -24,6 +24,7 @@
 #include "fuzz/oracle.hh"
 #include "support/governor.hh"
 #include "support/json_parse.hh"
+#include "support/resource.hh"
 
 namespace cxl
 {
@@ -136,6 +137,40 @@ TEST(Governor, MemoryCeilingStopsBothSchedules)
         expectGovernedStop(res, StopReason::Memory, "memory");
     }
 }
+
+#if defined(__linux__)
+TEST(Governor, MemoryCeilingMetersAnonymousRssNotMappedFiles)
+{
+    // The ceiling meters anonymous RSS only, so an mmap-store run
+    // whose file-backed mappings dwarf the ceiling's headroom still
+    // completes: the kernel can reclaim those pages by writeback,
+    // and tripping on them would defeat the out-of-core mode's whole
+    // point.  The ceiling is set to the current anonymous footprint
+    // plus generous slack for the run's heap — far less than
+    // anon+mapped would need if mapped bytes were (wrongly) counted.
+    CheckSession session;
+    EngineOptions engine;
+    engine.threads = 4;
+    engine.store = StoreKind::Mmap;
+    engine.maxRssBytes =
+        currentAnonRssBytes() + 256ull * 1024 * 1024;
+    const CheckResult res = session.run(freeRunRequest(2, engine));
+    EXPECT_EQ(res.verdict, CheckResult::Verdict::Holds);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.states, kTwoDevFreeRunStates);
+    // The run reports its file-backed footprint separately.
+    EXPECT_GT(res.mappedFileBytes, 0u);
+    EXPECT_GT(res.storeFileBytes, 0u);
+    const JsonValue doc = parseJson(res.renderJson());
+    EXPECT_GT(doc.getNum("mapped_file_bytes"), 0.0);
+    EXPECT_GT(doc.getNum("store_file_bytes"), 0.0);
+    // Deterministic rendering zeroes both, like the other
+    // wall-clock/allocator keys.
+    const JsonValue det = parseJson(res.renderJson(true));
+    EXPECT_EQ(det.getNum("mapped_file_bytes"), 0.0);
+    EXPECT_EQ(det.getNum("store_file_bytes"), 0.0);
+}
+#endif // __linux__
 
 // ----------------------------------------------------- cancellation
 
@@ -323,9 +358,18 @@ TEST(Governor, StoreFullErrorNamesShardAndRemedies)
     } catch (const StoreFullError &e) {
         const std::string what = e.what();
         EXPECT_NE(what.find("shard"), std::string::npos) << what;
+        // The message names the computed per-shard ceiling (16
+        // states across 16 shards -> 1 entry) ...
+        EXPECT_NE(what.find("per-shard limit 1 entries"),
+                  std::string::npos)
+            << what;
+        // ... and every store kind a user could switch to.
         EXPECT_NE(what.find("--expect-states"), std::string::npos)
             << what;
-        EXPECT_NE(what.find("--compact"), std::string::npos) << what;
+        EXPECT_NE(what.find(
+                      "--store=ram|ram-compact|mmap|mmap-compact"),
+                  std::string::npos)
+            << what;
         EXPECT_LT(e.shard(), StateStore::kNumShards);
     }
 }

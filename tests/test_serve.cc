@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include "api/check.hh"
+#include "api/scenarios.hh"
 #include "serve/cache.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
@@ -46,6 +47,7 @@ fullRequest()
     r.families = std::vector<std::string>{"swmr", "dir"};
     r.engine.threads = 3;
     r.engine.symmetry = SymmetryMode::Off;
+    r.engine.store = StoreKind::Mmap;
     r.engine.compact = true;
     r.engine.por = true;
     r.engine.schedule = Schedule::WorkSteal;
@@ -73,6 +75,7 @@ TEST(ServeProtocol, RequestRoundTripsThroughJson)
     EXPECT_EQ(*p.families, *r.families);
     EXPECT_EQ(p.engine.threads, r.engine.threads);
     EXPECT_EQ(p.engine.symmetry, r.engine.symmetry);
+    EXPECT_EQ(p.engine.store, r.engine.store);
     EXPECT_EQ(p.engine.compact, r.engine.compact);
     EXPECT_EQ(p.engine.por, r.engine.por);
     EXPECT_EQ(p.engine.schedule, r.engine.schedule);
@@ -156,6 +159,12 @@ TEST(ServeProtocol, MalformedRequestsThrow)
                         "\"type\": \"check\", \"id\": \"x\", "
                         "\"scenario\": \"free-run\", "
                         "\"engine\": {\"schedule\": \"dfs\"}}"),
+        std::runtime_error);
+    EXPECT_THROW(
+        requestFromJson("{\"schema\": \"cxl-checkd/v1\", "
+                        "\"type\": \"check\", \"id\": \"x\", "
+                        "\"scenario\": \"free-run\", "
+                        "\"engine\": {\"store\": \"floppy\"}}"),
         std::runtime_error);
 }
 
@@ -378,6 +387,38 @@ TEST(ResolveRequest, DistinctSemanticsNeverAlias)
     EXPECT_NE(keyOf(cfg), base);
 }
 
+TEST(ResolveRequest, RamAndMmapStoreSpellingsCollapseToOneKey)
+{
+    // The backend is below the probe algorithm: verdicts, counts and
+    // the rendered JSON are backend-independent, so ram and mmap
+    // spellings of the same compactness must share one cache entry —
+    // a ram-warmed cache answers mmap requests.  The compact bit is
+    // semantics (detected-collision accounting, trace notes) and
+    // must fork the key.
+    const std::string base = keyOf(namedRequest("free-run"));
+
+    Request ram = namedRequest("free-run");
+    ram.engine.store = StoreKind::InRam;
+    Request mmap = namedRequest("free-run");
+    mmap.engine.store = StoreKind::Mmap;
+    EXPECT_EQ(keyOf(ram), base);
+    EXPECT_EQ(keyOf(mmap), base);
+
+    Request ram_c = namedRequest("free-run");
+    ram_c.engine.store = StoreKind::InRamCompact;
+    Request mmap_c = namedRequest("free-run");
+    mmap_c.engine.store = StoreKind::MmapCompact;
+    EXPECT_EQ(keyOf(ram_c), keyOf(mmap_c));
+    EXPECT_NE(keyOf(ram_c), base);
+
+    // The compact knob layers onto the chosen backend the same way
+    // --compact layers onto --store.
+    Request layered = namedRequest("free-run");
+    layered.engine.store = StoreKind::Mmap;
+    layered.engine.compact = true;
+    EXPECT_EQ(keyOf(layered), keyOf(ram_c));
+}
+
 TEST(ResolveRequest, WallClockBudgetsStayOutOfTheKey)
 {
     // Budgets only change *whether* a run finishes (Incomplete is
@@ -538,6 +579,35 @@ TEST_F(ServeEndToEnd, ConcurrentClientsMatchOfflineByteForByte)
     EXPECT_EQ(after.cache.misses, before.misses);
     EXPECT_EQ(after.checksServed, 2 * scenarios.size())
         << after.renderJson();
+}
+
+TEST_F(ServeEndToEnd, MmapStoreServesOfflineBytesForEveryScenario)
+{
+    // Every registry scenario served under the mmap store must
+    // return the exact bytes an offline in-RAM run renders: the
+    // backend may not leak into the result, and the out-of-core
+    // path must not perturb a single count or verdict.
+    EngineOptions offline;
+    offline.threads = 2;
+    CheckSession session(offline);
+    for (const scenarios::Entry &entry : scenarios::all()) {
+        const int devices = entry.deviceScalable
+                                ? kDefaultNumDevices
+                                : entry.fixedDevices;
+        CheckRequest req;
+        req.scenario = entry.name;
+        req.devices = devices;
+        const std::string expected =
+            session.run(req).renderJson(true);
+
+        Request r = deterministicRequest(entry.name);
+        r.devices = devices;
+        r.engine.store = StoreKind::Mmap;
+        const ClientResult served =
+            requestCheck(server_->socketPath(), r);
+        ASSERT_TRUE(served.ok) << entry.name << ": " << served.error;
+        EXPECT_EQ(served.payload.resultJson, expected) << entry.name;
+    }
 }
 
 TEST_F(ServeEndToEnd, StatsRequestReportsTheCounters)
